@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's figures/tables through the
+same ``repro.experiments`` code path as the CLI runner, times it with
+pytest-benchmark, and prints the resulting table/series so the paper-vs-
+measured comparison can be read straight from the benchmark log (these are
+the numbers recorded in EXPERIMENTS.md).
+
+Set ``FORECO_BENCH_SCALE=standard`` (or ``full``) to run the larger sweeps;
+the default ``ci`` scale keeps the whole suite in the minutes range.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Experiment scale used by the benchmark suite."""
+    return os.environ.get("FORECO_BENCH_SCALE", "ci")
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    """Seed shared by every benchmark for reproducible reports."""
+    return int(os.environ.get("FORECO_BENCH_SEED", "42"))
+
+
+def emit(title: str, text: str) -> None:
+    """Print an experiment report block inside the benchmark output."""
+    print(f"\n================ {title} ================")
+    print(text)
+    print("=" * (34 + len(title)))

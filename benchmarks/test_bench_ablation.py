@@ -1,0 +1,143 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+These do not correspond to a figure in the paper; they quantify the impact of
+the reproduction's own design decisions so a reader can see which choices the
+headline results depend on:
+
+* forecast feedback vs oracle feedback during loss bursts (§VII-C),
+* the VAR record length R,
+* the ridge shrinkage that stabilises iterated forecasting,
+* the robot driver's fallback policy (hold vs stop),
+* the tolerance τ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ForecoConfig, ForecoRecovery, RemoteControlSimulation
+from repro.experiments import build_datasets
+from repro.wireless import ConsecutiveLossInjector, InterferenceSource, WirelessChannel
+
+from conftest import emit
+
+
+def _setup(bench_scale, bench_seed, config: ForecoConfig):
+    datasets = build_datasets(bench_scale, seed=bench_seed)
+    recovery = ForecoRecovery(config)
+    recovery.train(datasets.experienced.commands)
+    commands = datasets.inexperienced.head_seconds(40.0).commands
+    return datasets, recovery, commands
+
+
+def _interference_delays(n_commands: int, seed: int) -> np.ndarray:
+    channel = WirelessChannel(
+        n_robots=15, interference=InterferenceSource(0.05, 100), seed=seed
+    )
+    return channel.sample_trace(n_commands).delays()
+
+
+def test_feedback_ablation(benchmark, bench_scale, bench_seed):
+    """Forecast feedback (the paper's prototype) vs oracle feedback."""
+
+    def run() -> dict[str, float]:
+        results = {}
+        for feedback in ("forecast", "oracle"):
+            _, recovery, commands = _setup(
+                bench_scale, bench_seed, ForecoConfig(feedback=feedback)
+            )
+            delays = _interference_delays(commands.shape[0], bench_seed)
+            outcome = RemoteControlSimulation(recovery).run(commands, delays)
+            results[feedback] = outcome.rmse_foreco_mm
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation — feedback mode",
+        "\n".join(f"{mode:10s}: FoReCo RMSE {value:.2f} mm" for mode, value in results.items()),
+    )
+    assert results["oracle"] <= results["forecast"] * 1.5
+
+
+def test_var_record_sweep(benchmark, bench_scale, bench_seed):
+    """Sensitivity of the recovery error to the VAR record length R."""
+
+    def run() -> dict[int, float]:
+        results = {}
+        for record in (2, 5, 10, 20):
+            _, recovery, commands = _setup(bench_scale, bench_seed, ForecoConfig(record=record))
+            injector = ConsecutiveLossInjector(burst_length=15, n_bursts=5, min_gap=80, seed=bench_seed)
+            delays = injector.to_trace(commands.shape[0]).delays()
+            outcome = RemoteControlSimulation(recovery).run(commands, delays)
+            results[record] = outcome.rmse_foreco_mm
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation — VAR record length",
+        "\n".join(f"R={record:<3d}: FoReCo RMSE {value:.2f} mm" for record, value in results.items()),
+    )
+    assert min(results.values()) > 0.0
+
+
+def test_ridge_sweep(benchmark, bench_scale, bench_seed):
+    """The ridge shrinkage that keeps iterated VAR forecasts stable."""
+
+    def run() -> dict[float, float]:
+        results = {}
+        for ridge in (0.0, 1e-3, 3e-2, 1e-1):
+            config = ForecoConfig(algorithm_options={"ridge": ridge})
+            _, recovery, commands = _setup(bench_scale, bench_seed, config)
+            delays = _interference_delays(commands.shape[0], bench_seed)
+            outcome = RemoteControlSimulation(recovery).run(commands, delays)
+            results[ridge] = outcome.rmse_foreco_mm
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation — VAR ridge",
+        "\n".join(f"ridge={ridge:<7g}: FoReCo RMSE {value:.2f} mm" for ridge, value in results.items()),
+    )
+    assert results[3e-2] <= results[0.0] * 1.5
+
+
+def test_driver_fallback(benchmark, bench_scale, bench_seed):
+    """Hold-last-command (Niryo behaviour) vs stop-in-place baseline fallback."""
+
+    def run() -> dict[str, float]:
+        results = {}
+        for fallback in ("hold", "stop"):
+            _, recovery, commands = _setup(bench_scale, bench_seed, ForecoConfig())
+            injector = ConsecutiveLossInjector(burst_length=15, n_bursts=5, min_gap=80, seed=bench_seed)
+            delays = injector.to_trace(commands.shape[0]).delays()
+            outcome = RemoteControlSimulation(recovery, fallback=fallback).run(commands, delays)
+            results[fallback] = outcome.rmse_no_forecast_mm
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation — driver fallback",
+        "\n".join(f"{mode:5s}: baseline RMSE {value:.2f} mm" for mode, value in results.items()),
+    )
+    assert all(value >= 0.0 for value in results.values())
+
+
+def test_tolerance_sweep(benchmark, bench_scale, bench_seed):
+    """Sensitivity to the tolerance τ: a larger τ accepts more late commands."""
+
+    def run() -> dict[float, float]:
+        results = {}
+        for tolerance in (0.0, 10.0, 40.0):
+            _, recovery, commands = _setup(bench_scale, bench_seed, ForecoConfig(tolerance_ms=tolerance))
+            delays = _interference_delays(commands.shape[0], bench_seed)
+            outcome = RemoteControlSimulation(recovery).run(commands, delays)
+            results[tolerance] = outcome.late_fraction
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation — tolerance τ",
+        "\n".join(f"tau={tolerance:>4.0f} ms: late fraction {value:.3f}" for tolerance, value in results.items()),
+    )
+    values = list(results.values())
+    assert values[0] >= values[1] >= values[2]

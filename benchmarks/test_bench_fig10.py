@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 10 (jammed channel with PID recovery transient)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_jammer
+
+from conftest import emit
+
+
+def test_bench_fig10_jammer(benchmark, bench_scale, bench_seed):
+    """30-second jammed run with the PID joint controller in the loop."""
+    result = benchmark.pedantic(
+        fig10_jammer.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 10 — jammer", result.to_text())
+    assert result.improvement_factor > 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 6 (pick-and-place dataset trace)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_dataset
+
+from conftest import emit
+
+
+def test_bench_fig6_dataset(benchmark, bench_scale, bench_seed):
+    """Time the dataset generation and print the Fig. 6 summary."""
+    result = benchmark(fig6_dataset.run, bench_scale, bench_seed)
+    emit("Fig. 6 — dataset trace", result.to_text())
+    assert result.max_distance_mm > result.min_distance_mm

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Fig. 7 (forecast accuracy vs forecasting window)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_forecast_accuracy
+
+from conftest import emit
+
+
+def test_bench_fig7_var_vs_ma(benchmark, bench_scale, bench_seed):
+    """The headline Fig. 7 comparison between VAR and the MA benchmark."""
+    result = benchmark.pedantic(
+        fig7_forecast_accuracy.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed, "algorithms": ("var", "ma")},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 7 — VAR vs MA", result.to_text())
+    assert result.final_rmse("var") <= result.final_rmse("ma")
+
+
+def test_bench_fig7_seq2seq(benchmark, bench_scale, bench_seed):
+    """The seq2seq forecaster (NumPy LSTM encoder–decoder) on the same sweep."""
+    result = benchmark.pedantic(
+        fig7_forecast_accuracy.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed, "algorithms": ("seq2seq",)},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 7 — seq2seq", result.to_text())
+    assert "seq2seq" in result.rmse_mm

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 8 (simulation heatmaps, no-forecast vs FoReCo)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_simulation_heatmap
+
+from conftest import emit
+
+
+def test_bench_fig8_heatmaps(benchmark, bench_scale, bench_seed):
+    """Full interference-probability x duration x robot-count sweep."""
+    result = benchmark.pedantic(
+        fig8_simulation_heatmap.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 8 — heatmaps", result.to_text())
+    for robots in result.robot_counts:
+        assert result.improvement_factor(robots) > 1.0
+        assert result.foreco[robots].max_mean() < 20.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 9 (controlled consecutive-loss experiments)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_controlled_losses
+
+from conftest import emit
+
+
+def test_bench_fig9_controlled_losses(benchmark, bench_scale, bench_seed):
+    """5 / 10 / 25 consecutive losses, no-forecast vs FoReCo."""
+    result = benchmark.pedantic(
+        fig9_controlled_losses.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig. 9 — controlled losses", result.to_text())
+    for burst in result.burst_lengths:
+        assert result.improvement_factor(burst) > 1.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table I (training pipeline stage profiling)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_training_profile
+
+from conftest import emit
+
+
+def test_bench_table1_training_profile(benchmark, bench_scale, bench_seed):
+    """Load / down-sample / quality-check / train stage timings."""
+    result = benchmark.pedantic(
+        table1_training_profile.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed, "repetitions": 3},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table I — training profile", result.to_text())
+    assert result.total_mean_s > 0.0
+    assert result.inference_ms < 20.0

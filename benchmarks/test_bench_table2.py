@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table II (training/inference times per hardware tier)."""
+
+from __future__ import annotations
+
+from repro.experiments import table2_hardware_timing
+
+from conftest import emit
+
+
+def test_bench_table2_hardware_timing(benchmark, bench_scale, bench_seed):
+    """Measured host timings projected onto the paper's four platforms."""
+    result = benchmark.pedantic(
+        table2_hardware_timing.run,
+        kwargs={"scale": bench_scale, "seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table II — hardware timing", result.to_text())
+    assert result.training_minutes("raspberry-pi3") > result.training_minutes("edge-server")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Interference sweep: a miniature version of the paper's Fig. 8 heatmaps.
+
+Sweeps the interference probability and duration for several factory-floor
+sizes (number of robots sharing the 802.11 medium) and prints the trajectory
+RMSE of the stock stack and of FoReCo for every cell, plus the improvement
+factor.  The full-size sweep lives in ``repro.experiments.fig8_simulation_heatmap``
+(run it via ``foreco-experiments fig8``).
+
+Run it with::
+
+    python examples/interference_sweep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ForecoConfig, ForecoRecovery, RemoteControlSimulation
+from repro.teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
+from repro.wireless import InterferenceSource, WirelessChannel
+
+ROBOT_COUNTS = (5, 15, 25)
+PROBABILITIES = (0.01, 0.05)
+DURATIONS = (10, 100)
+REPETITIONS = 2
+
+
+def main() -> None:
+    controller = RemoteController()
+    training = controller.stream_from_operator(
+        OperatorModel(profile=experienced_operator(), seed=1), n_repetitions=8
+    )
+    testing = controller.stream_from_operator(
+        OperatorModel(profile=inexperienced_operator(), seed=2), n_repetitions=2
+    )
+
+    recovery = ForecoRecovery(ForecoConfig())
+    recovery.train(training.commands)
+    simulation = RemoteControlSimulation(recovery)
+
+    header = f"{'robots':>6s} {'p_if':>6s} {'T_if':>6s} {'late':>6s} {'no-forecast':>12s} {'FoReCo':>8s} {'gain':>6s}"
+    print(header)
+    print("-" * len(header))
+    for robots in ROBOT_COUNTS:
+        for probability in PROBABILITIES:
+            for duration in DURATIONS:
+                baseline, foreco, late = [], [], []
+                for repetition in range(REPETITIONS):
+                    channel = WirelessChannel(
+                        n_robots=robots,
+                        interference=InterferenceSource(probability, duration),
+                        seed=100 * robots + repetition,
+                    )
+                    delays = channel.sample_trace(len(testing)).delays()
+                    outcome = simulation.run(testing.commands, delays)
+                    baseline.append(outcome.rmse_no_forecast_mm)
+                    foreco.append(outcome.rmse_foreco_mm)
+                    late.append(outcome.late_fraction)
+                gain = np.mean(baseline) / max(np.mean(foreco), 1e-9)
+                print(
+                    f"{robots:>6d} {probability:>6.3f} {duration:>6d} {np.mean(late):>6.2f} "
+                    f"{np.mean(baseline):>10.2f}mm {np.mean(foreco):>6.2f}mm {gain:>5.1f}x"
+                )
+
+
+if __name__ == "__main__":
+    main()

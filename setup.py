@@ -1,0 +1,16 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+``python setup.py develop`` works on offline hosts where pip cannot fetch the
+``wheel`` package required for isolated builds.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "foreco-experiments = repro.experiments.runner:main",
+        ]
+    }
+)

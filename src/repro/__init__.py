@@ -1,0 +1,143 @@
+"""repro — a reproduction of FoReCo (forecast-based recovery for teleoperation).
+
+FoReCo (Groshev et al., 2022) is a recovery mechanism for real-time remote
+control of robotic manipulators over IEEE 802.11: when a control command is
+delayed beyond the robot's tolerance or lost to interference, FoReCo
+forecasts the missing command from the recent command history with an ML
+model (VAR in the prototype) and injects the forecast into the robot driver,
+keeping the executed trajectory close to the operator's intent.
+
+Package layout
+--------------
+``repro.core``
+    The FoReCo contribution: configuration, command dataset, training
+    pipeline, runtime recovery engine and the end-to-end simulation used by
+    the evaluation.
+``repro.forecasting``
+    The forecasting algorithms (VAR, MA, seq2seq, plus VARMA and exponential
+    smoothing extensions) behind a pluggable interface.
+``repro.nn``
+    NumPy neural-network substrate (LSTM encoder–decoder, Adam) backing the
+    seq2seq forecaster.
+``repro.wireless``
+    IEEE 802.11 analytical model with electromagnetic interference, the
+    access-point queueing model, a bursty jammer and controlled-loss
+    injectors.
+``repro.des``
+    Discrete-event simulation substrate (event engine, G/HEXP/1/Q queue,
+    Jackson transport network).
+``repro.robot``
+    Niryo-One-like manipulator: DH kinematics, joint limits, PID control,
+    driver loop and trajectory metrics.
+``repro.teleop``
+    Pick-and-place task, operator models and the 50 Hz remote controller.
+``repro.analysis``
+    Result aggregation (heatmaps), statistics and hardware-profiling helpers.
+``repro.experiments``
+    One module per paper figure/table plus a CLI runner
+    (``foreco-experiments``).
+
+Quickstart
+----------
+>>> from repro import quick_demo
+>>> outcome = quick_demo(seed=7)          # doctest: +SKIP
+>>> outcome.improvement_factor > 1.0      # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+from .core import (
+    CommandDataset,
+    ForecoConfig,
+    ForecoRecovery,
+    RemoteControlSimulation,
+    SimulationOutcome,
+    TrainingPipeline,
+    compare_baseline_and_foreco,
+)
+from .errors import (
+    ChannelError,
+    ConfigurationError,
+    DatasetError,
+    DimensionError,
+    NotFittedError,
+    ReproError,
+    RobotError,
+    SimulationError,
+)
+from .forecasting import (
+    Forecaster,
+    MovingAverageForecaster,
+    Seq2SeqForecaster,
+    VarForecaster,
+    make_forecaster,
+)
+from .robot import NiryoOneArm, RobotDriver
+from .teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
+from .wireless import ConsecutiveLossInjector, GilbertElliottJammer, InterferenceSource, WirelessChannel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommandDataset",
+    "ForecoConfig",
+    "ForecoRecovery",
+    "RemoteControlSimulation",
+    "SimulationOutcome",
+    "TrainingPipeline",
+    "compare_baseline_and_foreco",
+    "ReproError",
+    "ConfigurationError",
+    "NotFittedError",
+    "DimensionError",
+    "SimulationError",
+    "DatasetError",
+    "ChannelError",
+    "RobotError",
+    "Forecaster",
+    "MovingAverageForecaster",
+    "Seq2SeqForecaster",
+    "VarForecaster",
+    "make_forecaster",
+    "NiryoOneArm",
+    "RobotDriver",
+    "OperatorModel",
+    "RemoteController",
+    "experienced_operator",
+    "inexperienced_operator",
+    "ConsecutiveLossInjector",
+    "GilbertElliottJammer",
+    "InterferenceSource",
+    "WirelessChannel",
+    "quick_demo",
+    "__version__",
+]
+
+
+def quick_demo(seed: int = 0, n_repetitions: int = 4, n_robots: int = 5) -> SimulationOutcome:
+    """Run a miniature end-to-end FoReCo demonstration.
+
+    Generates small experienced/inexperienced operator datasets, trains the
+    VAR forecaster, subjects the inexperienced stream to an interference-prone
+    802.11 channel and returns the baseline-vs-FoReCo comparison.  Used by the
+    README quickstart and smoke tests; the full-size experiments live in
+    :mod:`repro.experiments`.
+    """
+    controller = RemoteController()
+    experienced = controller.stream_from_operator(
+        OperatorModel(profile=experienced_operator(), seed=seed), n_repetitions=n_repetitions
+    )
+    inexperienced = controller.stream_from_operator(
+        OperatorModel(profile=inexperienced_operator(), seed=seed + 1),
+        n_repetitions=max(1, n_repetitions // 2),
+    )
+    channel = WirelessChannel(
+        n_robots=n_robots,
+        interference=InterferenceSource(probability=0.05, duration_slots=100),
+        seed=seed,
+    )
+    trace = channel.sample_trace(len(inexperienced))
+    return compare_baseline_and_foreco(
+        experienced.commands, inexperienced.commands, trace.delays()
+    )

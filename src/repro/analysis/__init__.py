@@ -1,0 +1,33 @@
+"""Analysis utilities: result aggregation, profiling and hardware scaling.
+
+* :mod:`repro.analysis.heatmap` — the interference-probability × duration
+  result grids of Fig. 8 (per robot count, with and without FoReCo).
+* :mod:`repro.analysis.profiling` — wall-clock profiling of the training
+  pipeline plus the calibrated hardware scale factors used to reproduce
+  Tables I and II (the paper measures Raspberry Pi 3, Jetson Nano, a laptop
+  and an edge server; we measure on the current host and report the paper's
+  relative platform ordering).
+* :mod:`repro.analysis.statistics` — small summary-statistics helpers
+  (mean ± confidence intervals over repeated simulations).
+"""
+
+from .heatmap import HeatmapCell, HeatmapGrid
+from .profiling import (
+    HARDWARE_PROFILES,
+    HardwareProfile,
+    ProfiledStage,
+    scale_timings_to_hardware,
+)
+from .statistics import ConfidenceInterval, mean_confidence_interval, summarize
+
+__all__ = [
+    "HeatmapCell",
+    "HeatmapGrid",
+    "HARDWARE_PROFILES",
+    "HardwareProfile",
+    "ProfiledStage",
+    "scale_timings_to_hardware",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "summarize",
+]

@@ -1,0 +1,118 @@
+"""Heatmap grids for the Fig. 8 simulation sweep.
+
+Fig. 8 of the paper is a grid of six heatmaps: for 5 / 15 / 25 robots sharing
+the wireless medium, the averaged trajectory RMSE over a sweep of
+interference probability (1%, 2.5%, 5%) × interference duration
+(10, 50, 100 slots), once without forecasting and once with FoReCo.
+
+:class:`HeatmapGrid` stores the cells of one such heatmap, knows how to
+aggregate repeated simulation runs into per-cell means, and renders itself as
+the text table the benchmark harness prints (matching the numbers layout of
+the paper's figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class HeatmapCell:
+    """One (interference probability, interference duration) cell."""
+
+    interference_probability: float
+    interference_duration_slots: int
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record the RMSE of one simulation repetition."""
+        self.samples.append(float(value))
+
+    @property
+    def mean(self) -> float:
+        """Average RMSE over the recorded repetitions (nan when empty)."""
+        return float(np.mean(self.samples)) if self.samples else float("nan")
+
+    @property
+    def std(self) -> float:
+        """Standard deviation over the recorded repetitions."""
+        return float(np.std(self.samples)) if len(self.samples) > 1 else 0.0
+
+
+class HeatmapGrid:
+    """A probability × duration grid of :class:`HeatmapCell` objects."""
+
+    def __init__(
+        self,
+        probabilities: list[float],
+        durations: list[int],
+        label: str = "",
+    ) -> None:
+        if not probabilities or not durations:
+            raise ConfigurationError("heatmap axes must be non-empty")
+        self.probabilities = sorted(float(p) for p in probabilities)
+        self.durations = sorted(int(d) for d in durations)
+        self.label = label
+        self._cells: dict[tuple[float, int], HeatmapCell] = {
+            (p, d): HeatmapCell(p, d) for p in self.probabilities for d in self.durations
+        }
+
+    def cell(self, probability: float, duration: int) -> HeatmapCell:
+        """Access the cell for one (probability, duration) pair."""
+        key = (float(probability), int(duration))
+        try:
+            return self._cells[key]
+        except KeyError as exc:
+            raise ConfigurationError(f"no heatmap cell for {key}") from exc
+
+    def add_sample(self, probability: float, duration: int, value: float) -> None:
+        """Record one repetition's RMSE in the matching cell."""
+        self.cell(probability, duration).add(value)
+
+    def matrix(self) -> np.ndarray:
+        """Means as a matrix with probabilities on rows and durations on columns."""
+        return np.array(
+            [[self.cell(p, d).mean for d in self.durations] for p in self.probabilities]
+        )
+
+    def max_mean(self) -> float:
+        """Largest per-cell mean (the worst-case RMSE the paper quotes)."""
+        matrix = self.matrix()
+        return float(np.nanmax(matrix))
+
+    def min_mean(self) -> float:
+        """Smallest per-cell mean."""
+        matrix = self.matrix()
+        return float(np.nanmin(matrix))
+
+    def to_text(self, value_format: str = "{:8.2f}") -> str:
+        """Human-readable rendering used by the benchmark harness."""
+        lines = [f"# {self.label}" if self.label else "# heatmap"]
+        header = "prob\\dur | " + " ".join(f"{d:>8d}" for d in self.durations)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for probability in self.probabilities:
+            row = " ".join(value_format.format(self.cell(probability, d).mean) for d in self.durations)
+            lines.append(f"{100.0 * probability:7.1f}% | {row}")
+        return "\n".join(lines)
+
+    def as_records(self) -> list[dict[str, float]]:
+        """Flat record list (one dict per cell) for tabular post-processing."""
+        records = []
+        for probability in self.probabilities:
+            for duration in self.durations:
+                cell = self.cell(probability, duration)
+                records.append(
+                    {
+                        "interference_probability": probability,
+                        "interference_duration_slots": duration,
+                        "mean_rmse_mm": cell.mean,
+                        "std_rmse_mm": cell.std,
+                        "n_repetitions": len(cell.samples),
+                    }
+                )
+        return records

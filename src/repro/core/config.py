@@ -1,0 +1,91 @@
+"""FoReCo configuration.
+
+Groups every knob of the recovery mechanism in one validated dataclass so
+experiments, examples and tests construct FoReCo identically.  Defaults match
+the paper's prototype: Ω = 20 ms, τ = 0 ms (the Niryo ROS stack tolerance),
+VAR forecasting with the best-performing record length, and an 80 / 20
+train/test split (α = 0.8, β = 0.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._validation import ensure_int, ensure_non_negative, ensure_positive, ensure_probability
+from ..errors import ConfigurationError
+
+
+@dataclass
+class ForecoConfig:
+    """Configuration of the FoReCo recovery mechanism.
+
+    Attributes
+    ----------
+    command_period_ms:
+        Ω — the interval at which the remote controller issues commands.
+    tolerance_ms:
+        τ — additional delay tolerated before a command counts as missing;
+        FoReCo triggers a forecast when the next command has not arrived by
+        ``a(c_i) + Ω + τ``.
+    record:
+        R — number of past commands fed to the forecasting function ``f``.
+    train_fraction:
+        α — fraction of the accumulated history ``H`` used for training
+        (the remaining β = 1 − α is the test split).
+    algorithm:
+        Name of the forecasting algorithm ("var", "ma", "seq2seq", "varma",
+        "ses"); resolved through :func:`repro.forecasting.make_forecaster`.
+    algorithm_options:
+        Extra keyword arguments forwarded to the forecaster constructor.
+    max_history:
+        H — maximum number of commands retained in the dataset (older
+        commands are discarded first); ``None`` keeps everything.
+    feedback:
+        ``"forecast"`` reproduces the paper's prototype, which builds
+        forecasts from its own prior forecasts during a loss burst;
+        ``"oracle"`` feeds the true (late) commands back instead, an upper
+        bound studied in the ablation benches (§VII-C).
+    max_step_rad:
+        Maximum per-joint difference between an injected forecast and the
+        previously executed command.  The remote controller never issues
+        commands that differ by more than the robot's moving offset
+        (0.04 rad for the Niryo One), so FoReCo clamps its forecasts to the
+        same envelope before injecting them; ``None`` disables the clamp
+        (studied in the ablation benches).
+    """
+
+    command_period_ms: float = 20.0
+    tolerance_ms: float = 0.0
+    record: int = 10
+    train_fraction: float = 0.8
+    algorithm: str = "var"
+    algorithm_options: dict = field(default_factory=dict)
+    max_history: int | None = 200_000
+    feedback: str = "forecast"
+    max_step_rad: float | None = 0.04
+
+    def __post_init__(self) -> None:
+        ensure_positive("command_period_ms", self.command_period_ms)
+        ensure_non_negative("tolerance_ms", self.tolerance_ms)
+        self.record = ensure_int("record", self.record, minimum=1)
+        ensure_probability("train_fraction", self.train_fraction)
+        if self.train_fraction <= 0.0 or self.train_fraction >= 1.0:
+            raise ConfigurationError("train_fraction must lie strictly between 0 and 1")
+        if self.max_history is not None:
+            self.max_history = ensure_int("max_history", self.max_history, minimum=2)
+        if self.feedback not in ("forecast", "oracle"):
+            raise ConfigurationError("feedback must be 'forecast' or 'oracle'")
+        if self.max_step_rad is not None:
+            ensure_positive("max_step_rad", self.max_step_rad)
+        if not isinstance(self.algorithm, str) or not self.algorithm:
+            raise ConfigurationError("algorithm must be a non-empty string")
+
+    @property
+    def test_fraction(self) -> float:
+        """β — the testing fraction of the dataset."""
+        return 1.0 - self.train_fraction
+
+    @property
+    def deadline_ms(self) -> float:
+        """Per-command arrival deadline ``Ω + τ`` relative to the previous arrival."""
+        return self.command_period_ms + self.tolerance_ms

@@ -1,0 +1,145 @@
+"""FoReCo training pipeline with per-stage timing (paper Table I).
+
+The prototype's training path on the robot consists of four stages whose
+durations Table I profiles on the Raspberry Pi 3: *Load Data*,
+*Down Sampling*, *Check Quality* and *Training Model*.  The
+:class:`TrainingPipeline` reproduces those stages over a
+:class:`~repro.core.dataset.CommandDataset`, times each one with a
+monotonic clock, and returns both the fitted forecaster and a
+:class:`TrainingReport` containing the timings and test accuracy — the inputs
+for the Table I / Table II experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import ensure_int
+from ..errors import DatasetError
+from ..forecasting import Forecaster, forecast_rmse, make_forecaster
+from .config import ForecoConfig
+from .dataset import CommandDataset, DatasetQualityReport
+
+
+@dataclass
+class PipelineTimings:
+    """Wall-clock duration (seconds) of each training-pipeline stage."""
+
+    load_data_s: float = 0.0
+    downsampling_s: float = 0.0
+    quality_check_s: float = 0.0
+    training_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        """Total pipeline duration."""
+        return self.load_data_s + self.downsampling_s + self.quality_check_s + self.training_s
+
+    def as_dict(self) -> dict[str, float]:
+        """Stage durations as a plain dictionary (for reports and benches)."""
+        return {
+            "load_data_s": self.load_data_s,
+            "downsampling_s": self.downsampling_s,
+            "quality_check_s": self.quality_check_s,
+            "training_s": self.training_s,
+            "total_s": self.total_s,
+        }
+
+
+@dataclass
+class TrainingReport:
+    """Result of one training-pipeline run."""
+
+    timings: PipelineTimings
+    quality: DatasetQualityReport
+    n_training_commands: int
+    n_test_commands: int
+    test_rmse: float
+    inference_time_ms: float
+    algorithm: str
+    extra: dict = field(default_factory=dict)
+
+
+class TrainingPipeline:
+    """Load → down-sample → quality-check → train, with per-stage timing."""
+
+    def __init__(self, config: ForecoConfig | None = None, downsample_factor: int = 1) -> None:
+        self.config = config if config is not None else ForecoConfig()
+        self.downsample_factor = ensure_int("downsample_factor", downsample_factor, minimum=1)
+
+    # ------------------------------------------------------------------ run
+    def run(self, dataset: CommandDataset) -> tuple[Forecaster, TrainingReport]:
+        """Execute the full pipeline on ``dataset``.
+
+        Returns the fitted forecaster and the :class:`TrainingReport`.
+        """
+        if len(dataset) <= self.config.record + 1:
+            raise DatasetError(
+                f"dataset must contain more than record+1={self.config.record + 1} commands"
+            )
+        timings = PipelineTimings()
+
+        # Stage 1: load data (materialise the stored history as an array).
+        start = time.perf_counter()
+        commands = dataset.to_array()
+        timings.load_data_s = time.perf_counter() - start
+
+        # Stage 2: down-sampling.
+        start = time.perf_counter()
+        if self.downsample_factor > 1:
+            commands = commands[:: self.downsample_factor]
+        timings.downsampling_s = time.perf_counter() - start
+
+        # Stage 3: quality check.
+        start = time.perf_counter()
+        staged = CommandDataset(dataset.n_joints, period_ms=dataset.period_ms)
+        staged.extend(commands)
+        quality = staged.quality_check(repair=True)
+        commands = staged.to_array()
+        timings.quality_check_s = time.perf_counter() - start
+
+        # Stage 4: model training on the α split, evaluation on the β split.
+        start = time.perf_counter()
+        split = staged.split(self.config.train_fraction)
+        forecaster = make_forecaster(
+            self.config.algorithm, record=self.config.record, **self.config.algorithm_options
+        )
+        forecaster.fit(split.train)
+        timings.training_s = time.perf_counter() - start
+
+        test_rmse, inference_ms = self._evaluate(forecaster, split.test)
+        report = TrainingReport(
+            timings=timings,
+            quality=quality,
+            n_training_commands=split.train.shape[0],
+            n_test_commands=split.test.shape[0],
+            test_rmse=test_rmse,
+            inference_time_ms=inference_ms,
+            algorithm=self.config.algorithm,
+        )
+        return forecaster, report
+
+    # ------------------------------------------------------------ evaluation
+    def _evaluate(self, forecaster: Forecaster, test_commands: np.ndarray) -> tuple[float, float]:
+        """One-step-ahead test RMSE and mean single-forecast inference time."""
+        record = forecaster.record
+        if test_commands.shape[0] <= record:
+            return float("nan"), float("nan")
+        max_evaluations = min(200, test_commands.shape[0] - record)
+        predictions = []
+        actuals = []
+        durations = []
+        for offset in range(max_evaluations):
+            history = test_commands[offset : offset + record]
+            actual = test_commands[offset + record]
+            start = time.perf_counter()
+            prediction = forecaster.predict_next(history)
+            durations.append(time.perf_counter() - start)
+            predictions.append(prediction)
+            actuals.append(actual)
+        rmse = forecast_rmse(np.array(predictions), np.array(actuals))
+        inference_ms = float(np.mean(durations) * 1000.0)
+        return rmse, inference_ms

@@ -1,0 +1,218 @@
+"""End-to-end remote-control session: operator → channel → FoReCo → robot.
+
+This module wires the substrates together into the experiment the paper runs
+over and over (§VI-C, §VI-D): replay an operator's command stream, subject it
+to a wireless channel (analytical 802.11 model, controlled loss bursts or a
+jammer), and execute it on the robot twice —
+
+* the **no-forecast baseline**: the stock robot stack.  It executes commands
+  *when they arrive*: while no new command has arrived it keeps re-feeding
+  the previous one to the control loop, and when delayed commands finally
+  make it through the backlogged access-point queue it executes them late —
+  so the executed trajectory lags behind (and loses pieces of) the operator's
+  motion;
+* **FoReCo**: the recovery engine never waits — each slot either executes the
+  command that arrived on time or injects a forecast, discarding stale
+  commands.
+
+Both executions are compared against the *defined* trajectory (the commands
+the operator actually issued, on the Ω time grid) using the Cartesian RMSE of
+the end effector.  :func:`compare_baseline_and_foreco` is the single-call
+helper the figures, examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, DimensionError
+from ..robot.driver import DriverConfig, RobotDriver
+from ..robot.niryo import NiryoOneArm
+from ..robot.trajectory import JointTrajectory, trajectory_rmse_mm
+from ..wireless.channel import CommandDelayTrace
+from .config import ForecoConfig
+from .recovery import ForecoRecovery
+
+
+@dataclass
+class SimulationOutcome:
+    """Result of one remote-control session simulation.
+
+    Attributes
+    ----------
+    rmse_no_forecast_mm / rmse_foreco_mm:
+        Trajectory RMSE of the baseline and of FoReCo against the defined
+        trajectory.
+    improvement_factor:
+        ``rmse_no_forecast / rmse_foreco`` — the paper's headline "x18 / x2"
+        figures.
+    late_fraction:
+        Fraction of commands that missed their deadline in this run.
+    defined / baseline / foreco:
+        The three joint trajectories (for plotting Figs. 9/10-style curves).
+    recovery_fraction:
+        Fraction of missing slots FoReCo managed to fill with a forecast.
+    """
+
+    rmse_no_forecast_mm: float
+    rmse_foreco_mm: float
+    late_fraction: float
+    recovery_fraction: float
+    defined: JointTrajectory = field(repr=False)
+    baseline: JointTrajectory = field(repr=False)
+    foreco: JointTrajectory = field(repr=False)
+
+    @property
+    def improvement_factor(self) -> float:
+        """How many times FoReCo reduces the trajectory RMSE."""
+        if self.rmse_foreco_mm <= 0:
+            return float("inf")
+        return self.rmse_no_forecast_mm / self.rmse_foreco_mm
+
+
+class RemoteControlSimulation:
+    """Replays a command stream through a channel, with and without FoReCo."""
+
+    def __init__(
+        self,
+        recovery: ForecoRecovery,
+        arm: NiryoOneArm | None = None,
+        use_pid: bool = False,
+        fallback: str = "hold",
+    ) -> None:
+        if not recovery.is_ready:
+            raise ConfigurationError("the recovery engine must be trained before simulating")
+        self.recovery = recovery
+        self.arm = arm if arm is not None else NiryoOneArm()
+        self.use_pid = bool(use_pid)
+        self.fallback = fallback
+
+    # ------------------------------------------------------------------ run
+    def run(self, commands: np.ndarray, delays_ms: np.ndarray) -> SimulationOutcome:
+        """Execute one session given per-command end-to-end delays."""
+        commands = np.asarray(commands, dtype=float)
+        delays_ms = np.asarray(delays_ms, dtype=float).ravel()
+        if commands.ndim != 2 or commands.shape[0] != delays_ms.size:
+            raise DimensionError("commands and delays_ms lengths must match")
+        config = self.recovery.config
+
+        # FoReCo pass: compute per-slot executed targets (real or forecast).
+        foreco_targets = self.recovery.process_stream(commands, delays_ms)
+        on_time_mask = np.array(
+            [self.recovery.is_on_time(delay) for delay in delays_ms], dtype=bool
+        )
+        late_fraction = float(1.0 - on_time_mask.mean())
+        recovery_fraction = self.recovery.stats.recovery_fraction
+
+        driver_config = DriverConfig(
+            command_period_ms=config.command_period_ms,
+            tolerance_ms=config.tolerance_ms,
+            fallback=self.fallback,  # type: ignore[arg-type]
+            use_pid=self.use_pid,
+        )
+
+        # Baseline: execute commands as they arrive (stock stack behaviour).
+        baseline_targets = self._baseline_targets(commands, delays_ms)
+        baseline_driver = RobotDriver(arm=self.arm, config=driver_config)
+        baseline_log = baseline_driver.run(
+            baseline_targets, np.ones(commands.shape[0], dtype=bool), forecasts=None
+        )
+
+        # FoReCo: inject the recovery engine's forecasts for missing slots.
+        foreco_driver = RobotDriver(arm=self.arm, config=driver_config)
+        foreco_log = foreco_driver.run(commands, on_time_mask, forecasts=foreco_targets)
+
+        period_s = config.command_period_ms / 1000.0
+        times = np.arange(commands.shape[0]) * period_s
+        defined = JointTrajectory(times, commands, label="defined")
+        baseline = baseline_log.executed_trajectory(label="no-forecast")
+        foreco = foreco_log.executed_trajectory(label="foreco")
+
+        return SimulationOutcome(
+            rmse_no_forecast_mm=trajectory_rmse_mm(baseline.joints, commands, arm=self.arm),
+            rmse_foreco_mm=trajectory_rmse_mm(foreco.joints, commands, arm=self.arm),
+            late_fraction=late_fraction,
+            recovery_fraction=recovery_fraction,
+            defined=defined,
+            baseline=baseline,
+            foreco=foreco,
+        )
+
+    def _baseline_targets(self, commands: np.ndarray, delays_ms: np.ndarray) -> np.ndarray:
+        """Per-slot targets executed by the stock (no-forecast) robot stack.
+
+        Command ``c_i`` is generated at ``g_i = i * Ω`` and arrives at
+        ``g_i + Δ(c_i)`` (never, if lost).  At every control tick the stock
+        stack feeds the most recently *arrived* command to the control loop,
+        re-feeding the previous one while nothing new has arrived — which is
+        exactly the "laggy" behaviour the paper attributes to delayed
+        commands, on top of the outright losses.
+        """
+        period = self.recovery.config.command_period_ms
+        n = commands.shape[0]
+        arrival_times = np.arange(n) * period + delays_ms
+        # Slot s spans (s*Ω, (s+1)*Ω]; command i is usable in slot s once it
+        # has arrived by the end of the slot, i.e. from slot
+        # ceil(arrival_i / Ω) - 1 onwards (and never before its own slot).
+        first_usable_slot = np.full(n, n, dtype=int)
+        delivered = np.isfinite(arrival_times)
+        slots = np.ceil(arrival_times[delivered] / period).astype(int) - 1
+        first_usable_slot[delivered] = np.maximum(
+            np.arange(n)[delivered], np.maximum(slots, 0)
+        )
+        # newest_at[s] = largest command index usable at slot s (-1 if none yet).
+        newest_at = np.full(n, -1, dtype=int)
+        for index in range(n):
+            slot = first_usable_slot[index]
+            if slot < n:
+                newest_at[slot] = max(newest_at[slot], index)
+        newest_at = np.maximum.accumulate(newest_at)
+        targets = np.empty_like(commands)
+        latest = commands[0]
+        for slot in range(n):
+            if newest_at[slot] >= 0:
+                latest = commands[newest_at[slot]]
+            targets[slot] = latest
+        return targets
+
+    def run_trace(self, commands: np.ndarray, trace: CommandDelayTrace) -> SimulationOutcome:
+        """Convenience wrapper accepting a :class:`CommandDelayTrace`."""
+        delays = trace.delays()
+        if delays.size < commands.shape[0]:
+            raise DimensionError(
+                f"trace has {delays.size} samples but the stream has {commands.shape[0]} commands"
+            )
+        return self.run(commands, delays[: commands.shape[0]])
+
+
+def compare_baseline_and_foreco(
+    training_commands: np.ndarray,
+    test_commands: np.ndarray,
+    delays_ms: np.ndarray,
+    config: ForecoConfig | None = None,
+    use_pid: bool = False,
+) -> SimulationOutcome:
+    """Train FoReCo and run one baseline-vs-FoReCo comparison in a single call.
+
+    Parameters
+    ----------
+    training_commands:
+        Experienced-operator stream used to fit the forecaster.
+    test_commands:
+        Inexperienced-operator stream replayed through the channel.
+    delays_ms:
+        Per-command end-to-end delay (``inf`` = lost), length matching
+        ``test_commands``.
+    config:
+        FoReCo configuration; defaults to the paper's prototype settings.
+    use_pid:
+        Execute through the PID joint controller (dynamic mode) instead of
+        perfect tracking.
+    """
+    config = config if config is not None else ForecoConfig()
+    recovery = ForecoRecovery(config=config)
+    recovery.train(training_commands)
+    simulation = RemoteControlSimulation(recovery, use_pid=use_pid)
+    return simulation.run(test_commands, delays_ms)

@@ -1,0 +1,182 @@
+"""Open Jackson network model of the wired transport segment.
+
+Paper Assumption 1 states that the transport-network delay ``Δ_T(c_i)`` is
+upper-bounded by a constant ``D`` because every switch/router on the path has
+a finite queue, so the path can be modelled as a Jackson network whose total
+expected waiting plus processing time is finite.
+
+This module provides:
+
+* :class:`JacksonStation` — one M/M/1 station (service rate, visit ratio).
+* :class:`JacksonNetwork` — an open network with a routing matrix; computes
+  per-station arrival rates from the traffic equations, checks stability and
+  evaluates the classic product-form metrics (mean queue length, mean delay).
+* :class:`TransportNetworkModel` — the thin wrapper the teleoperation session
+  uses: samples a bounded per-command transport delay and exposes the bound
+  ``D`` used in Assumption 1.
+
+The analytical results use the standard Jackson product-form formulas; the
+sampling path draws per-hop exponential sojourns truncated at the configured
+bound so the assumption ``Δ_T(c_i) <= D`` holds by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import ensure_positive, rng_from
+from ..errors import ConfigurationError
+
+
+@dataclass
+class JacksonStation:
+    """One M/M/1 station of the transport network.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports (e.g. ``"edge-router"``).
+    service_rate:
+        Service rate μ in packets per millisecond.
+    external_arrival_rate:
+        Rate of traffic entering the network directly at this station
+        (packets per millisecond).
+    """
+
+    name: str
+    service_rate: float
+    external_arrival_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive("service_rate", self.service_rate)
+        if self.external_arrival_rate < 0:
+            raise ConfigurationError("external_arrival_rate must be non-negative")
+
+
+class JacksonNetwork:
+    """Open Jackson network with product-form steady-state metrics."""
+
+    def __init__(self, stations: list[JacksonStation], routing: np.ndarray | None = None) -> None:
+        if not stations:
+            raise ConfigurationError("a Jackson network needs at least one station")
+        self.stations = list(stations)
+        n = len(stations)
+        if routing is None:
+            # Default: a feed-forward chain ending at the sink (all traffic
+            # leaves after the last station) — the shape of a transport path.
+            routing = np.zeros((n, n))
+            for i in range(n - 1):
+                routing[i, i + 1] = 1.0
+        routing = np.asarray(routing, dtype=float)
+        if routing.shape != (n, n):
+            raise ConfigurationError(f"routing matrix must be {n}x{n}, got {routing.shape}")
+        if np.any(routing < 0) or np.any(routing.sum(axis=1) > 1.0 + 1e-9):
+            raise ConfigurationError("routing rows must be sub-stochastic (sum <= 1, entries >= 0)")
+        self.routing = routing
+        self._arrival_rates = self._solve_traffic_equations()
+
+    # ----------------------------------------------------------- analytics
+    def _solve_traffic_equations(self) -> np.ndarray:
+        """Solve ``λ = γ + R^T λ`` for the effective per-station arrival rates."""
+        n = len(self.stations)
+        gamma = np.array([s.external_arrival_rate for s in self.stations])
+        lam = np.linalg.solve(np.eye(n) - self.routing.T, gamma)
+        if np.any(lam < -1e-9):
+            raise ConfigurationError("traffic equations produced a negative arrival rate")
+        return np.clip(lam, 0.0, None)
+
+    @property
+    def arrival_rates(self) -> np.ndarray:
+        """Effective arrival rate λ_i at each station."""
+        return self._arrival_rates.copy()
+
+    def utilisations(self) -> np.ndarray:
+        """ρ_i = λ_i / μ_i for every station."""
+        mus = np.array([s.service_rate for s in self.stations])
+        return self._arrival_rates / mus
+
+    def is_stable(self) -> bool:
+        """True when every station has ρ_i < 1 (finite expected queues)."""
+        return bool(np.all(self.utilisations() < 1.0))
+
+    def mean_queue_lengths(self) -> np.ndarray:
+        """Mean number of customers in each M/M/1 station: ρ / (1 - ρ)."""
+        rho = self.utilisations()
+        if np.any(rho >= 1.0):
+            raise ConfigurationError("network is unstable; mean queue lengths diverge")
+        return rho / (1.0 - rho)
+
+    def mean_station_delays(self) -> np.ndarray:
+        """Mean sojourn time at each station: 1 / (μ - λ)."""
+        rho = self.utilisations()
+        if np.any(rho >= 1.0):
+            raise ConfigurationError("network is unstable; delays diverge")
+        mus = np.array([s.service_rate for s in self.stations])
+        return 1.0 / (mus - self._arrival_rates)
+
+    def mean_path_delay(self) -> float:
+        """Expected end-to-end delay of one packet traversing every station."""
+        return float(self.mean_station_delays().sum())
+
+
+class TransportNetworkModel:
+    """Bounded transport-delay sampler implementing paper Assumption 1.
+
+    Parameters
+    ----------
+    network:
+        The underlying Jackson network.  If ``None`` a two-hop default
+        (access switch + aggregation router) is built with the given
+        ``command_rate``.
+    bound_ms:
+        The constant ``D``: per-command transport delay is truncated at this
+        value.  If ``None``, the bound is set to five times the analytical
+        mean path delay, which comfortably exceeds the expected waiting plus
+        processing time at every queue.
+    command_rate:
+        Command arrival rate in commands per millisecond (1/Ω), used only
+        when the default network is constructed.
+    """
+
+    def __init__(
+        self,
+        network: JacksonNetwork | None = None,
+        bound_ms: float | None = None,
+        command_rate: float = 1.0 / 20.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if network is None:
+            network = JacksonNetwork(
+                [
+                    JacksonStation("l2-switch", service_rate=2.0, external_arrival_rate=command_rate),
+                    JacksonStation("access-router", service_rate=2.0),
+                ]
+            )
+        if not network.is_stable():
+            raise ConfigurationError("transport network must be stable (ρ < 1 at every hop)")
+        self.network = network
+        mean_delay = network.mean_path_delay()
+        self.bound_ms = float(bound_ms) if bound_ms is not None else 5.0 * mean_delay
+        if self.bound_ms <= 0:
+            raise ConfigurationError("transport delay bound D must be positive")
+        self.rng = rng_from(seed)
+        self._station_delays = network.mean_station_delays()
+
+    def sample_delay(self) -> float:
+        """Sample one per-command transport delay (ms), truncated at ``D``."""
+        per_hop = self.rng.exponential(self._station_delays)
+        return float(min(self.bound_ms, per_hop.sum()))
+
+    def sample_delays(self, n: int) -> np.ndarray:
+        """Vectorised version of :meth:`sample_delay`."""
+        hops = self.rng.exponential(
+            np.tile(self._station_delays, (n, 1))
+        ).sum(axis=1)
+        return np.minimum(self.bound_ms, hops)
+
+    @property
+    def bound(self) -> float:
+        """The Assumption-1 constant ``D`` in milliseconds."""
+        return self.bound_ms

@@ -1,0 +1,41 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+The library raises only subclasses of :class:`ReproError` for anticipated
+failure modes (bad configuration, mis-shaped inputs, un-trained models).
+Programming errors keep raising the standard built-in exceptions so that they
+are not accidentally swallowed by callers catching :class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object or parameter set is invalid or inconsistent."""
+
+
+class NotFittedError(ReproError):
+    """A model was asked to predict before being trained."""
+
+
+class DimensionError(ReproError):
+    """An array argument does not have the expected shape or dimensionality."""
+
+
+class SimulationError(ReproError):
+    """A simulation reached an inconsistent internal state."""
+
+
+class DatasetError(ReproError):
+    """A command dataset is empty, malformed, or fails its quality checks."""
+
+
+class ChannelError(ReproError):
+    """A wireless-channel model received parameters outside its valid domain."""
+
+
+class RobotError(ReproError):
+    """The robot model was driven outside its operational envelope."""

@@ -1,0 +1,37 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every experiment module exposes a ``run(config)`` function returning a plain
+result object with a ``to_text()`` rendering, so the same code path is used by
+
+* the CLI runner (``foreco-experiments fig8 --scale full``),
+* the benchmark suite (``pytest benchmarks/ --benchmark-only``), and
+* the integration tests (``tests/experiments/``).
+
+All experiments accept an :class:`ExperimentScale` so CI runs finish in
+seconds while a ``full`` run approaches the paper's sweep sizes.
+"""
+
+from .common import ExperimentScale, SharedDatasets, build_datasets, get_scale
+from . import (
+    fig6_dataset,
+    fig7_forecast_accuracy,
+    fig8_simulation_heatmap,
+    fig9_controlled_losses,
+    fig10_jammer,
+    table1_training_profile,
+    table2_hardware_timing,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "SharedDatasets",
+    "build_datasets",
+    "get_scale",
+    "fig6_dataset",
+    "fig7_forecast_accuracy",
+    "fig8_simulation_heatmap",
+    "fig9_controlled_losses",
+    "fig10_jammer",
+    "table1_training_profile",
+    "table2_hardware_timing",
+]

@@ -1,0 +1,70 @@
+"""Fig. 6 — the pick-and-place trajectory dataset.
+
+The paper's Fig. 6 plots the distance from origin of the robot end effector
+over time while an inexperienced operator repeats the pick-and-place task:
+a periodic trace oscillating between roughly 200 and 500 mm.  This experiment
+regenerates that trace from the synthetic operator datasets and reports its
+summary statistics (range, period, number of cycles), which the tests check
+against the expected envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..robot.niryo import NiryoOneArm
+from .common import ExperimentScale, build_datasets, get_scale
+
+
+@dataclass
+class Fig6Result:
+    """Distance-from-origin trace of the inexperienced operator dataset."""
+
+    times_s: np.ndarray
+    distance_mm: np.ndarray
+    n_commands: int
+    n_repetitions: int
+    min_distance_mm: float
+    max_distance_mm: float
+    cycle_duration_s: float
+
+    def to_text(self) -> str:
+        """Human-readable summary (the benchmark harness prints this)."""
+        lines = [
+            "# Fig. 6 — pick-and-place dataset (distance from origin vs time)",
+            f"commands             : {self.n_commands}",
+            f"task repetitions     : {self.n_repetitions}",
+            f"distance range [mm]  : {self.min_distance_mm:.1f} .. {self.max_distance_mm:.1f}",
+            f"cycle duration [s]   : {self.cycle_duration_s:.1f}",
+            f"total duration [s]   : {self.times_s[-1]:.1f}",
+        ]
+        return "\n".join(lines)
+
+    def series(self, max_points: int = 50) -> list[tuple[float, float]]:
+        """Down-sampled (time, distance) pairs for quick text plotting."""
+        step = max(1, self.times_s.size // max_points)
+        return [
+            (float(t), float(d))
+            for t, d in zip(self.times_s[::step], self.distance_mm[::step])
+        ]
+
+
+def run(scale: str | ExperimentScale = "ci", seed: int = 42) -> Fig6Result:
+    """Regenerate the Fig. 6 dataset trace at the requested scale."""
+    scale = get_scale(scale)
+    datasets = build_datasets(scale, seed=seed)
+    stream = datasets.inexperienced
+    arm = NiryoOneArm()
+    distance = arm.trajectory_distance_mm(stream.commands)
+    times = stream.generation_times_s()
+    return Fig6Result(
+        times_s=times,
+        distance_mm=distance,
+        n_commands=len(stream),
+        n_repetitions=scale.test_repetitions,
+        min_distance_mm=float(distance.min()),
+        max_distance_mm=float(distance.max()),
+        cycle_duration_s=float(times[-1] + stream.period_ms / 1000.0) / scale.test_repetitions,
+    )

@@ -1,0 +1,88 @@
+"""Command-line runner for the paper experiments.
+
+Installed as the ``foreco-experiments`` console script::
+
+    foreco-experiments all                 # every figure/table at CI scale
+    foreco-experiments fig8 --scale standard
+    foreco-experiments fig7 fig9 --seed 7 --output results.txt
+
+Each experiment prints the text rendering of its result (the same tables the
+benchmark harness produces), so the paper-vs-measured comparison recorded in
+EXPERIMENTS.md can be regenerated with a single command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from . import (
+    fig6_dataset,
+    fig7_forecast_accuracy,
+    fig8_simulation_heatmap,
+    fig9_controlled_losses,
+    fig10_jammer,
+    table1_training_profile,
+    table2_hardware_timing,
+)
+
+#: Registry of experiment name -> run callable.
+EXPERIMENTS: dict[str, Callable] = {
+    "fig6": fig6_dataset.run,
+    "fig7": fig7_forecast_accuracy.run,
+    "fig8": fig8_simulation_heatmap.run,
+    "fig9": fig9_controlled_losses.run,
+    "fig10": fig10_jammer.run,
+    "table1": table1_training_profile.run,
+    "table2": table2_hardware_timing.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``foreco-experiments`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="foreco-experiments",
+        description="Regenerate the FoReCo paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiments to run: " + ", ".join(sorted(EXPERIMENTS)) + ", or 'all'",
+    )
+    parser.add_argument("--scale", default="ci", choices=["ci", "standard", "full"],
+                        help="experiment scale (default: ci)")
+    parser.add_argument("--seed", type=int, default=42, help="random seed (default: 42)")
+    parser.add_argument("--output", default=None, help="also write the report to this file")
+    return parser
+
+
+def run_experiments(names: list[str], scale: str, seed: int) -> str:
+    """Run the selected experiments and return the combined text report."""
+    if any(name == "all" for name in names):
+        names = sorted(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+    sections = []
+    for name in names:
+        result = EXPERIMENTS[name](scale=scale, seed=seed)
+        sections.append(result.to_text())
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point used by the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    report = run_experiments(args.experiments, scale=args.scale, seed=args.seed)
+    sys.stdout.write(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    raise SystemExit(main())

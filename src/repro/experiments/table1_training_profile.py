@@ -1,0 +1,105 @@
+"""Table I — time profiling of FoReCo training on the robot.
+
+The paper breaks the training path into four stages and measures them on the
+Niryo One's Raspberry Pi 3: Load Data, Down Sampling, Check Quality and
+Training Model.  This experiment runs the same pipeline
+(:class:`repro.core.pipeline.TrainingPipeline`) on the experienced-operator
+dataset, times every stage on the current host, and also projects the totals
+onto the Raspberry Pi using the calibrated hardware scale factors (see
+:mod:`repro.analysis.profiling`).
+
+The expected shape: the quality check and model training dominate, loading
+and down-sampling are comparatively negligible, and single-command inference
+stays far below the Ω = 20 ms control period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.profiling import HARDWARE_PROFILES
+from ..analysis.statistics import summarize
+from ..core import CommandDataset, ForecoConfig, TrainingPipeline
+from .common import ExperimentScale, build_datasets, get_scale
+
+
+@dataclass
+class Table1Result:
+    """Per-stage timings (seconds) over repeated pipeline runs."""
+
+    stage_stats: dict[str, dict[str, float]] = field(default_factory=dict)
+    n_runs: int = 0
+    n_commands: int = 0
+    test_rmse_mm: float = float("nan")
+    inference_ms: float = float("nan")
+    projected_pi_total_s: float = float("nan")
+
+    def to_text(self) -> str:
+        """Render the Table I layout."""
+        lines = [
+            "# Table I — time profiling of FoReCo training"
+            f" ({self.n_runs} runs, {self.n_commands} commands)",
+            f"{'stage':<16s} {'mean [s]':>10s} {'std [s]':>10s}",
+        ]
+        for stage, stats in self.stage_stats.items():
+            lines.append(f"{stage:<16s} {stats['mean']:>10.4f} {stats['std']:>10.4f}")
+        lines.append(f"{'inference [ms]':<16s} {self.inference_ms:>10.4f}")
+        lines.append(
+            f"projected Raspberry Pi 3 total: {self.projected_pi_total_s:.1f} s "
+            f"(host total x {HARDWARE_PROFILES['raspberry-pi3'].training_scale / HARDWARE_PROFILES['laptop'].training_scale:.1f})"
+        )
+        return "\n".join(lines)
+
+    @property
+    def total_mean_s(self) -> float:
+        """Mean total pipeline duration on the current host."""
+        return float(sum(stats["mean"] for stats in self.stage_stats.values()))
+
+
+def run(
+    scale: str | ExperimentScale = "ci",
+    seed: int = 42,
+    repetitions: int = 3,
+    downsample_factor: int = 1,
+    config: ForecoConfig | None = None,
+) -> Table1Result:
+    """Profile the training pipeline stages over ``repetitions`` runs."""
+    scale = get_scale(scale)
+    datasets = build_datasets(scale, seed=seed)
+    config = config if config is not None else ForecoConfig()
+
+    dataset = CommandDataset(datasets.n_joints, period_ms=config.command_period_ms)
+    dataset.extend(datasets.experienced.commands)
+    pipeline = TrainingPipeline(config=config, downsample_factor=downsample_factor)
+
+    stage_samples: dict[str, list[float]] = {
+        "load_data": [], "downsampling": [], "check_quality": [], "training_model": [],
+    }
+    test_rmse = float("nan")
+    inference_ms = float("nan")
+    for _ in range(max(1, repetitions)):
+        _, report = pipeline.run(dataset)
+        stage_samples["load_data"].append(report.timings.load_data_s)
+        stage_samples["downsampling"].append(report.timings.downsampling_s)
+        stage_samples["check_quality"].append(report.timings.quality_check_s)
+        stage_samples["training_model"].append(report.timings.training_s)
+        test_rmse = report.test_rmse
+        inference_ms = report.inference_time_ms
+
+    result = Table1Result(
+        n_runs=max(1, repetitions),
+        n_commands=len(dataset),
+        test_rmse_mm=test_rmse,
+        inference_ms=inference_ms,
+    )
+    host_total = 0.0
+    for stage, samples in stage_samples.items():
+        stats = summarize(np.array(samples))
+        result.stage_stats[stage] = stats
+        host_total += stats["mean"]
+    pi = HARDWARE_PROFILES["raspberry-pi3"].training_scale
+    laptop = HARDWARE_PROFILES["laptop"].training_scale
+    result.projected_pi_total_s = host_total * pi / laptop
+    return result

@@ -1,0 +1,98 @@
+"""Table II — training and inference times across hardware tiers.
+
+The paper measures VAR training time (minutes) and single-forecast inference
+time (milliseconds) on four platforms: the robot's Raspberry Pi 3, an NVIDIA
+Jetson Nano, a laptop (user equipment) and a local edge server.  We cannot
+run on that silicon, so this experiment measures the real training/inference
+on the current host and projects the other tiers through scale factors
+calibrated from the paper's own numbers
+(:data:`repro.analysis.profiling.HARDWARE_PROFILES`).
+
+Expected shape: faster platforms are strictly faster, inference is orders of
+magnitude below the 20 ms control period even on the Raspberry Pi, and
+training on the robot stays in the minutes range.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.profiling import HARDWARE_PROFILES, scale_timings_to_hardware
+from ..forecasting import make_forecaster
+from ..core import ForecoConfig
+from .common import ExperimentScale, build_datasets, get_scale
+
+
+@dataclass
+class Table2Result:
+    """Measured host timings plus per-tier projections."""
+
+    measured_training_s: float
+    measured_inference_ms: float
+    reference_tier: str
+    projections: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render the Table II layout (training in minutes, inference in ms)."""
+        lines = [
+            "# Table II — training and inference times per hardware tier",
+            f"measured on host: training {self.measured_training_s:.2f} s, "
+            f"inference {self.measured_inference_ms:.4f} ms "
+            f"(host treated as the '{self.reference_tier}' tier)",
+            f"{'platform':<30s} {'training [min]':>15s} {'inference [ms]':>15s}",
+        ]
+        for key, profile in HARDWARE_PROFILES.items():
+            projection = self.projections[key]
+            lines.append(
+                f"{profile.name:<30s} {projection['training_min']:>15.3f} {projection['inference_ms']:>15.4f}"
+            )
+        return "\n".join(lines)
+
+    def training_minutes(self, tier: str) -> float:
+        """Projected training time (minutes) for one tier."""
+        return self.projections[tier]["training_min"]
+
+    def inference_ms(self, tier: str) -> float:
+        """Projected single-forecast inference time (ms) for one tier."""
+        return self.projections[tier]["inference_ms"]
+
+
+def run(
+    scale: str | ExperimentScale = "ci",
+    seed: int = 42,
+    config: ForecoConfig | None = None,
+    reference_tier: str = "laptop",
+    n_inference_samples: int = 200,
+) -> Table2Result:
+    """Measure training/inference on the host and project every Table II tier."""
+    scale = get_scale(scale)
+    datasets = build_datasets(scale, seed=seed)
+    config = config if config is not None else ForecoConfig()
+    train = datasets.experienced.commands
+    test = datasets.inexperienced.commands
+
+    forecaster = make_forecaster(config.algorithm, record=config.record, **config.algorithm_options)
+    start = time.perf_counter()
+    forecaster.fit(train)
+    training_s = time.perf_counter() - start
+
+    record = forecaster.record
+    durations = []
+    limit = min(n_inference_samples, test.shape[0] - record - 1)
+    for offset in range(max(1, limit)):
+        history = test[offset : offset + record]
+        start = time.perf_counter()
+        forecaster.predict_next(history)
+        durations.append(time.perf_counter() - start)
+    inference_ms = float(np.mean(durations) * 1000.0)
+
+    projections = scale_timings_to_hardware(training_s, inference_ms, reference=reference_tier)
+    return Table2Result(
+        measured_training_s=training_s,
+        measured_inference_ms=inference_ms,
+        reference_tier=reference_tier,
+        projections=projections,
+    )

@@ -1,0 +1,32 @@
+"""Forecasting algorithms studied by FoReCo (§IV-B / §IV-C).
+
+The paper evaluates three forecasters — Vector Autoregression (VAR, the one
+selected for the prototype), a Moving Average benchmark and an LSTM
+seq2seq model — and mentions exponential smoothing and VARMA as follow-up
+candidates.  All of them are implemented here behind the common
+:class:`~repro.forecasting.base.Forecaster` interface, so FoReCo can swap
+algorithms "in a modular fashion" as the paper requires.
+"""
+
+from .base import Forecaster, ForecastResult, make_forecaster, sliding_windows
+from .ma import MovingAverageForecaster
+from .metrics import forecast_rmse, multi_step_rmse, rolling_forecast_errors
+from .seq2seq import Seq2SeqForecaster
+from .smoothing import ExponentialSmoothingForecaster
+from .var import VarForecaster
+from .varma import VarmaForecaster
+
+__all__ = [
+    "Forecaster",
+    "ForecastResult",
+    "make_forecaster",
+    "sliding_windows",
+    "MovingAverageForecaster",
+    "forecast_rmse",
+    "multi_step_rmse",
+    "rolling_forecast_errors",
+    "Seq2SeqForecaster",
+    "ExponentialSmoothingForecaster",
+    "VarForecaster",
+    "VarmaForecaster",
+]

@@ -1,0 +1,177 @@
+"""Common forecaster interface and shared utilities.
+
+Every forecasting algorithm in FoReCo follows the same contract (paper
+Problem 1): given the last ``R`` commands ``{ĉ_j}``, produce the next command
+``ĉ_{i+1} ∈ R^d``.  :class:`Forecaster` encodes that contract:
+
+* :meth:`Forecaster.fit` learns the weights ``w`` from a training command
+  stream (the experienced-operator dataset),
+* :meth:`Forecaster.predict_next` forecasts a single command from a history
+  window,
+* :meth:`Forecaster.forecast_horizon` iterates the one-step forecast to fill
+  an arbitrary forecasting window (20–1000 ms in Fig. 7), feeding its own
+  forecasts back as inputs — exactly how FoReCo behaves during a loss burst.
+
+:func:`sliding_windows` builds the supervised ``(history, next)`` pairs used
+for training, and :func:`make_forecaster` is a small registry/factory used by
+the experiments and the CLI.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_command_array, ensure_int
+from ..errors import ConfigurationError, DimensionError, NotFittedError
+
+
+@dataclass
+class ForecastResult:
+    """A multi-step forecast and the history it was produced from."""
+
+    forecasts: np.ndarray
+    history_length: int
+    algorithm: str
+
+    def __len__(self) -> int:
+        return self.forecasts.shape[0]
+
+
+def sliding_windows(commands: np.ndarray, record: int) -> tuple[np.ndarray, np.ndarray]:
+    """Build supervised pairs ``(X, y)`` from a command stream.
+
+    ``X[k]`` is the window of ``record`` consecutive commands ending at index
+    ``k + record - 1`` and ``y[k]`` is the command that follows it.
+
+    Returns
+    -------
+    X : numpy.ndarray of shape ``(n - record, record, d)``
+    y : numpy.ndarray of shape ``(n - record, d)``
+    """
+    commands = as_command_array("commands", commands)
+    record = ensure_int("record", record, minimum=1)
+    n, d = commands.shape
+    if n <= record:
+        raise DimensionError(
+            f"need more than record={record} commands to build windows, got {n}"
+        )
+    n_windows = n - record
+    windows = np.empty((n_windows, record, d))
+    targets = np.empty((n_windows, d))
+    for k in range(n_windows):
+        windows[k] = commands[k : k + record]
+        targets[k] = commands[k + record]
+    return windows, targets
+
+
+class Forecaster(abc.ABC):
+    """Abstract one-step-ahead forecaster over ``R``-command histories."""
+
+    #: Registry name; subclasses override it.
+    name = "forecaster"
+
+    def __init__(self, record: int = 5) -> None:
+        self.record = ensure_int("record", record, minimum=1)
+        self._fitted = False
+        self._n_joints: int | None = None
+
+    # ------------------------------------------------------------------ api
+    @abc.abstractmethod
+    def _fit(self, commands: np.ndarray) -> None:
+        """Algorithm-specific training on an ``(n, d)`` command stream."""
+
+    @abc.abstractmethod
+    def _predict_next(self, history: np.ndarray) -> np.ndarray:
+        """Algorithm-specific one-step forecast from an ``(record, d)`` history."""
+
+    # ------------------------------------------------------------- template
+    def fit(self, commands: np.ndarray) -> "Forecaster":
+        """Learn the forecaster weights from a training command stream."""
+        commands = as_command_array("training commands", commands)
+        if commands.shape[0] <= self.record:
+            raise DimensionError(
+                f"training stream must be longer than record={self.record}, got {commands.shape[0]}"
+            )
+        self._n_joints = commands.shape[1]
+        self._fit(commands)
+        self._fitted = True
+        return self
+
+    def predict_next(self, history: np.ndarray) -> np.ndarray:
+        """Forecast the next command from the last ``record`` commands.
+
+        Histories longer than ``record`` are truncated to the most recent
+        ``record`` commands; shorter histories are rejected.
+        """
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before predicting")
+        history = as_command_array("history", history)
+        if self._n_joints is not None and history.shape[1] != self._n_joints:
+            raise DimensionError(
+                f"history has {history.shape[1]} joints but the model was trained with {self._n_joints}"
+            )
+        if history.shape[0] < self.record:
+            raise DimensionError(
+                f"history must contain at least record={self.record} commands, got {history.shape[0]}"
+            )
+        window = history[-self.record :]
+        return np.asarray(self._predict_next(window), dtype=float).ravel()
+
+    def forecast_horizon(self, history: np.ndarray, steps: int) -> ForecastResult:
+        """Iterate the one-step forecast ``steps`` times, feeding forecasts back.
+
+        This reproduces the paper's forecasting-window evaluation (Fig. 7) and
+        FoReCo's behaviour during a burst of consecutive losses: forecast
+        ``ĉ_{i+1}`` from real history, then ``ĉ_{i+2}`` from history that
+        already contains ``ĉ_{i+1}``, and so on — which is why forecast error
+        accumulates over long bursts (paper §VI-D1).
+        """
+        steps = ensure_int("steps", steps, minimum=1)
+        history = as_command_array("history", history)
+        window = history[-self.record :].copy()
+        forecasts = np.empty((steps, window.shape[1]))
+        for step in range(steps):
+            next_command = self.predict_next(window)
+            forecasts[step] = next_command
+            window = np.vstack([window[1:], next_command]) if self.record > 1 else next_command.reshape(1, -1)
+        return ForecastResult(forecasts=forecasts, history_length=self.record, algorithm=self.name)
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has completed."""
+        return self._fitted
+
+    @property
+    def n_joints(self) -> int | None:
+        """Command dimensionality seen at fit time (``None`` before fitting)."""
+        return self._n_joints
+
+
+def make_forecaster(name: str, record: int = 5, **kwargs) -> Forecaster:
+    """Factory building a forecaster by registry name.
+
+    Supported names: ``"var"``, ``"ma"``, ``"seq2seq"``, ``"varma"``, ``"ses"``.
+    """
+    from .ma import MovingAverageForecaster
+    from .seq2seq import Seq2SeqForecaster
+    from .smoothing import ExponentialSmoothingForecaster
+    from .var import VarForecaster
+    from .varma import VarmaForecaster
+
+    registry: dict[str, type[Forecaster]] = {
+        "var": VarForecaster,
+        "ma": MovingAverageForecaster,
+        "seq2seq": Seq2SeqForecaster,
+        "varma": VarmaForecaster,
+        "ses": ExponentialSmoothingForecaster,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown forecaster {name!r}; available: {sorted(registry)}"
+        ) from exc
+    return cls(record=record, **kwargs)

@@ -1,0 +1,26 @@
+"""Moving Average forecaster — the paper's benchmark algorithm.
+
+The MA forecaster (paper eq. 8) predicts the next command as the arithmetic
+mean of the last ``R`` commands.  It needs no training, but :meth:`fit` is
+still part of the interface so FoReCo can treat every algorithm uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Forecaster
+
+
+class MovingAverageForecaster(Forecaster):
+    """Predict ``ĉ_{i+1}`` as the mean of the last ``R`` commands."""
+
+    name = "ma"
+
+    def _fit(self, commands: np.ndarray) -> None:
+        # The moving average has no weights to learn; fitting only records the
+        # command dimensionality (handled by the base class).
+        return None
+
+    def _predict_next(self, history: np.ndarray) -> np.ndarray:
+        return history.mean(axis=0)

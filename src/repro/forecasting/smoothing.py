@@ -1,0 +1,80 @@
+"""Exponential smoothing forecaster (paper future-work candidate, §VII-C).
+
+Implements damped double exponential smoothing (Holt's linear trend method
+with damping) applied independently to every joint:
+
+.. math::
+
+    \\ell_i = \\alpha c_i + (1 - \\alpha)(\\ell_{i-1} + \\phi b_{i-1}) \\\\
+    b_i   = \\beta (\\ell_i - \\ell_{i-1}) + (1 - \\beta) \\phi b_{i-1} \\\\
+    \\hat c_{i+1} = \\ell_i + \\phi b_i
+
+The level/trend recursion is re-run over the history window at prediction
+time, so the forecaster is stateless between calls — the same convention as
+the other FoReCo algorithms — and the smoothing constants can optionally be
+tuned on the training set by a small grid search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import ensure_probability
+from .base import Forecaster, sliding_windows
+
+
+class ExponentialSmoothingForecaster(Forecaster):
+    """Damped Holt (double exponential) smoothing per joint."""
+
+    name = "ses"
+
+    def __init__(
+        self,
+        record: int = 5,
+        alpha: float = 0.6,
+        beta: float = 0.3,
+        damping: float = 0.9,
+        tune_on_fit: bool = True,
+    ) -> None:
+        super().__init__(record=record)
+        self.alpha = ensure_probability("alpha", alpha)
+        self.beta = ensure_probability("beta", beta)
+        self.damping = ensure_probability("damping", damping)
+        self.tune_on_fit = bool(tune_on_fit)
+
+    # ----------------------------------------------------------------- fit
+    def _fit(self, commands: np.ndarray) -> None:
+        if not self.tune_on_fit:
+            return
+        # Small grid search of (alpha, beta) on one-step-ahead RMSE over the
+        # training stream; keeps the damping factor fixed.
+        windows, targets = sliding_windows(commands, self.record)
+        best = (self.alpha, self.beta)
+        best_rmse = np.inf
+        for alpha in (0.3, 0.5, 0.7, 0.9):
+            for beta in (0.1, 0.3, 0.5):
+                rmse = self._grid_rmse(windows, targets, alpha, beta)
+                if rmse < best_rmse:
+                    best_rmse = rmse
+                    best = (alpha, beta)
+        self.alpha, self.beta = best
+
+    def _grid_rmse(self, windows: np.ndarray, targets: np.ndarray, alpha: float, beta: float) -> float:
+        sample = windows[:: max(1, windows.shape[0] // 200)]
+        sample_targets = targets[:: max(1, windows.shape[0] // 200)]
+        predictions = np.array([self._smooth(window, alpha, beta) for window in sample])
+        return float(np.sqrt(np.mean((predictions - sample_targets) ** 2)))
+
+    # ------------------------------------------------------------- predict
+    def _smooth(self, history: np.ndarray, alpha: float, beta: float) -> np.ndarray:
+        level = history[0].astype(float).copy()
+        trend = np.zeros_like(level)
+        phi = self.damping
+        for command in history[1:]:
+            previous_level = level
+            level = alpha * command + (1.0 - alpha) * (level + phi * trend)
+            trend = beta * (level - previous_level) + (1.0 - beta) * phi * trend
+        return level + phi * trend
+
+    def _predict_next(self, history: np.ndarray) -> np.ndarray:
+        return self._smooth(history, self.alpha, self.beta)

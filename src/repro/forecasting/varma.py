@@ -1,0 +1,91 @@
+"""VARMA forecaster — the paper's proposed future-work extension (§VII-C).
+
+The discussion section suggests combining the benefits of MA and VAR into a
+Vector Autoregression Moving Average model "to prevent saw-teeth oscillations
+and anticipate faster the increases/decreases of the time-series".  We
+implement a pragmatic two-stage VARMA(R, q) estimator:
+
+1. fit a plain VAR of order ``R`` (OLS, as in :class:`VarForecaster`) and
+   compute its in-sample one-step residuals;
+2. regress the VAR residual at step ``i`` on the last ``q`` residuals (again
+   OLS), giving a moving-average correction term.
+
+Prediction adds the MA correction of the recent residuals to the VAR
+forecast.  During multi-step forecasting (when residuals of forecasted steps
+are unknown) the residual history decays towards zero, so the model gracefully
+degrades to the plain VAR — exactly the behaviour wanted for loss bursts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import ensure_int, ensure_non_negative
+from ..errors import NotFittedError
+from .base import Forecaster, sliding_windows
+from .var import VarForecaster
+
+
+class VarmaForecaster(Forecaster):
+    """Two-stage VARMA(R, q) forecaster built on top of the OLS VAR."""
+
+    name = "varma"
+
+    def __init__(self, record: int = 5, ma_order: int = 3, ridge: float = 0.03) -> None:
+        super().__init__(record=record)
+        self.ma_order = ensure_int("ma_order", ma_order, minimum=1)
+        self.ridge = ensure_non_negative("ridge", ridge)
+        self._var = VarForecaster(record=record, ridge=ridge)
+        self.ma_coefficients: np.ndarray | None = None
+        self._recent_residuals: list[np.ndarray] = []
+
+    # ----------------------------------------------------------------- fit
+    def _fit(self, commands: np.ndarray) -> None:
+        self._var.fit(commands)
+        windows, targets = sliding_windows(commands, self.record)
+        design = windows.reshape(windows.shape[0], -1)
+        var_predictions = self._var.intercept + design @ self._var.coefficients
+        residuals = targets - var_predictions
+
+        if residuals.shape[0] <= self.ma_order:
+            # Not enough residuals for the MA stage: behave as plain VAR.
+            self.ma_coefficients = np.zeros((self.ma_order * residuals.shape[1], residuals.shape[1]))
+        else:
+            lagged, next_residuals = sliding_windows(residuals, self.ma_order)
+            lagged = lagged.reshape(lagged.shape[0], -1)
+            gram = lagged.T @ lagged + max(self.ridge, 1e-8) * np.eye(lagged.shape[1])
+            self.ma_coefficients = np.linalg.solve(gram, lagged.T @ next_residuals)
+        self._recent_residuals = []
+
+    # ------------------------------------------------------------- predict
+    def _predict_next(self, history: np.ndarray) -> np.ndarray:
+        if self.ma_coefficients is None:
+            raise NotFittedError("VarmaForecaster has no fitted coefficients")
+        var_prediction = self._var.predict_next(history)
+        correction = np.zeros_like(var_prediction)
+        if len(self._recent_residuals) >= self.ma_order:
+            lagged = np.concatenate(self._recent_residuals[-self.ma_order :])
+            correction = lagged @ self.ma_coefficients
+        prediction = var_prediction + correction
+        # During autonomous multi-step forecasting the true next command is
+        # unknown, so we register a zero residual; the MA correction thereby
+        # decays over a loss burst and VARMA degrades to VAR as intended.
+        self.observe_residual(np.zeros_like(prediction))
+        return prediction
+
+    # -------------------------------------------------------------- update
+    def observe_residual(self, residual: np.ndarray) -> None:
+        """Record a one-step residual (true command minus forecast).
+
+        FoReCo calls this when a real command arrives so the MA stage reacts
+        to the most recent tracking errors.
+        """
+        residual = np.asarray(residual, dtype=float).ravel()
+        self._recent_residuals.append(residual)
+        if len(self._recent_residuals) > 4 * self.ma_order:
+            self._recent_residuals = self._recent_residuals[-2 * self.ma_order :]
+
+    def observe_command(self, history: np.ndarray, actual: np.ndarray) -> None:
+        """Convenience wrapper computing and recording the residual for ``actual``."""
+        prediction = self._var.predict_next(np.asarray(history, dtype=float))
+        self.observe_residual(np.asarray(actual, dtype=float).ravel() - prediction)

@@ -1,0 +1,94 @@
+"""Activation functions with derivatives.
+
+Each activation is a small stateless object exposing ``forward`` and
+``backward`` (derivative w.r.t. the pre-activation given the *output* of the
+forward pass, which is the convention the LSTM backward pass uses).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+class Activation(abc.ABC):
+    """Base class for element-wise activation functions."""
+
+    name = "activation"
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the activation element-wise."""
+
+    @abc.abstractmethod
+    def backward(self, output: np.ndarray) -> np.ndarray:
+        """Derivative of the activation expressed in terms of its output."""
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid: ``1 / (1 + exp(-x))``."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Clip to avoid overflow in exp for very negative inputs.
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+    def backward(self, output: np.ndarray) -> np.ndarray:
+        return output * (1.0 - output)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, output: np.ndarray) -> np.ndarray:
+        return 1.0 - output ** 2
+
+
+class Relu(Activation):
+    """Rectified linear unit — the activation the paper uses in both LSTM layers."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, x)
+
+    def backward(self, output: np.ndarray) -> np.ndarray:
+        return (output > 0.0).astype(output.dtype)
+
+
+class Identity(Activation):
+    """Pass-through activation used for linear output layers."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, output: np.ndarray) -> np.ndarray:
+        return np.ones_like(output)
+
+
+_ACTIVATIONS: dict[str, type[Activation]] = {
+    cls.name: cls for cls in (Sigmoid, Tanh, Relu, Identity)
+}
+
+
+def get_activation(name: str | Activation) -> Activation:
+    """Resolve an activation by name (or pass an instance through)."""
+    if isinstance(name, Activation):
+        return name
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown activation {name!r}; available: {sorted(_ACTIVATIONS)}"
+        ) from exc

@@ -1,0 +1,224 @@
+"""Neural-network layers: fully-connected and LSTM with full BPTT.
+
+The layers operate on single sequences (no batch dimension): an LSTM layer
+maps an ``(T, input_dim)`` sequence to an ``(T, hidden_dim)`` sequence, and a
+dense layer maps an ``(n, input_dim)`` matrix to ``(n, output_dim)``.  Batches
+are handled by the model (:mod:`repro.nn.seq2seq`) by accumulating gradients
+over the sequences of a mini-batch, which keeps the layer code simple and
+easy to verify with numerical gradient checks (see the nn tests).
+
+Parameter naming follows the convention ``<layer>/<name>`` so that an
+optimiser can treat the full model as a flat dictionary of arrays — the
+"unrolled weight vector w" of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import ensure_int, rng_from
+from ..errors import DimensionError
+from .activations import Activation, Sigmoid, Tanh, get_activation
+
+
+class Dense:
+    """Fully-connected layer ``y = activation(x @ W + b)``."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        output_dim: int,
+        activation: str | Activation = "identity",
+        name: str = "dense",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.input_dim = ensure_int("input_dim", input_dim, minimum=1)
+        self.output_dim = ensure_int("output_dim", output_dim, minimum=1)
+        self.activation = get_activation(activation)
+        self.name = name
+        rng = rng_from(seed)
+        scale = np.sqrt(2.0 / (self.input_dim + self.output_dim))
+        self.params: dict[str, np.ndarray] = {
+            f"{name}/W": rng.normal(0.0, scale, (self.input_dim, self.output_dim)),
+            f"{name}/b": np.zeros(self.output_dim),
+        }
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def n_parameters(self) -> int:
+        """Total number of scalar weights in the layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches inputs for :meth:`backward`."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.input_dim:
+            raise DimensionError(f"expected input dim {self.input_dim}, got {x.shape[1]}")
+        pre = x @ self.params[f"{self.name}/W"] + self.params[f"{self.name}/b"]
+        out = self.activation.forward(pre)
+        self._cache = (x, out)
+        return out
+
+    def backward(self, d_out: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Backward pass returning ``(d_input, gradients)``."""
+        if self._cache is None:
+            raise DimensionError("backward called before forward")
+        x, out = self._cache
+        d_out = np.atleast_2d(np.asarray(d_out, dtype=float))
+        d_pre = d_out * self.activation.backward(out)
+        grads = {
+            f"{self.name}/W": x.T @ d_pre,
+            f"{self.name}/b": d_pre.sum(axis=0),
+        }
+        d_input = d_pre @ self.params[f"{self.name}/W"].T
+        return d_input, grads
+
+
+class LstmLayer:
+    """Single LSTM layer with full backpropagation through time.
+
+    Gate equations for step ``t`` (``z = [i, f, g, o]`` concatenated):
+
+    .. math::
+
+        z_t = x_t W_x + h_{t-1} W_h + b \\\\
+        i_t = \\sigma(z^i_t),\\; f_t = \\sigma(z^f_t),\\;
+        g_t = \\tanh(z^g_t),\\; o_t = \\sigma(z^o_t) \\\\
+        c_t = f_t c_{t-1} + i_t g_t \\\\
+        h_t = o_t \\phi(c_t)
+
+    where ``φ`` is the output activation — ``tanh`` in a textbook LSTM, but
+    configurable because the paper specifies ReLU activations for both the
+    encoder and decoder layers.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        output_activation: str | Activation = "tanh",
+        name: str = "lstm",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.input_dim = ensure_int("input_dim", input_dim, minimum=1)
+        self.hidden_dim = ensure_int("hidden_dim", hidden_dim, minimum=1)
+        self.name = name
+        self._sigmoid = Sigmoid()
+        self._tanh = Tanh()
+        self._out_act = get_activation(output_activation)
+        rng = rng_from(seed)
+        scale = 1.0 / np.sqrt(self.hidden_dim)
+        self.params: dict[str, np.ndarray] = {
+            f"{name}/Wx": rng.normal(0.0, scale, (self.input_dim, 4 * self.hidden_dim)),
+            f"{name}/Wh": rng.normal(0.0, scale, (self.hidden_dim, 4 * self.hidden_dim)),
+            f"{name}/b": np.zeros(4 * self.hidden_dim),
+        }
+        # Forget-gate bias initialised to 1 (standard trick for gradient flow).
+        self.params[f"{name}/b"][self.hidden_dim : 2 * self.hidden_dim] = 1.0
+        self._cache: dict[str, list[np.ndarray]] | None = None
+
+    @property
+    def n_parameters(self) -> int:
+        """Total number of scalar weights in the layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    # ---------------------------------------------------------------- forward
+    def forward(self, sequence: np.ndarray) -> np.ndarray:
+        """Run the LSTM over ``(T, input_dim)`` and return ``(T, hidden_dim)``."""
+        sequence = np.atleast_2d(np.asarray(sequence, dtype=float))
+        if sequence.shape[1] != self.input_dim:
+            raise DimensionError(f"expected input dim {self.input_dim}, got {sequence.shape[1]}")
+        wx = self.params[f"{self.name}/Wx"]
+        wh = self.params[f"{self.name}/Wh"]
+        bias = self.params[f"{self.name}/b"]
+        hidden = self.hidden_dim
+
+        h = np.zeros(hidden)
+        c = np.zeros(hidden)
+        cache: dict[str, list[np.ndarray]] = {
+            "x": [], "i": [], "f": [], "g": [], "o": [],
+            "c": [], "c_prev": [], "h_prev": [], "c_act": [],
+        }
+        outputs = np.empty((sequence.shape[0], hidden))
+        for t, x_t in enumerate(sequence):
+            z = x_t @ wx + h @ wh + bias
+            i = self._sigmoid.forward(z[:hidden])
+            f = self._sigmoid.forward(z[hidden : 2 * hidden])
+            g = self._tanh.forward(z[2 * hidden : 3 * hidden])
+            o = self._sigmoid.forward(z[3 * hidden :])
+            cache["c_prev"].append(c)
+            cache["h_prev"].append(h)
+            c = f * c + i * g
+            c_act = self._out_act.forward(c)
+            h = o * c_act
+            outputs[t] = h
+            cache["x"].append(x_t)
+            cache["i"].append(i)
+            cache["f"].append(f)
+            cache["g"].append(g)
+            cache["o"].append(o)
+            cache["c"].append(c)
+            cache["c_act"].append(c_act)
+        self._cache = cache
+        return outputs
+
+    # --------------------------------------------------------------- backward
+    def backward(self, d_outputs: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """BPTT given gradients w.r.t. every hidden output.
+
+        Returns ``(d_inputs, gradients)`` where ``d_inputs`` has the shape of
+        the forward input sequence.
+        """
+        if self._cache is None:
+            raise DimensionError("backward called before forward")
+        cache = self._cache
+        steps = len(cache["x"])
+        d_outputs = np.atleast_2d(np.asarray(d_outputs, dtype=float))
+        if d_outputs.shape != (steps, self.hidden_dim):
+            raise DimensionError(
+                f"d_outputs must have shape ({steps}, {self.hidden_dim}), got {d_outputs.shape}"
+            )
+        wx = self.params[f"{self.name}/Wx"]
+        wh = self.params[f"{self.name}/Wh"]
+        hidden = self.hidden_dim
+
+        d_wx = np.zeros_like(wx)
+        d_wh = np.zeros_like(wh)
+        d_b = np.zeros(4 * hidden)
+        d_inputs = np.zeros((steps, self.input_dim))
+        d_h_next = np.zeros(hidden)
+        d_c_next = np.zeros(hidden)
+
+        for t in range(steps - 1, -1, -1):
+            i, f, g, o = cache["i"][t], cache["f"][t], cache["g"][t], cache["o"][t]
+            c, c_prev = cache["c"][t], cache["c_prev"][t]
+            c_act, h_prev, x_t = cache["c_act"][t], cache["h_prev"][t], cache["x"][t]
+
+            d_h = d_outputs[t] + d_h_next
+            d_o = d_h * c_act
+            d_c = d_h * o * self._out_act.backward(c_act) + d_c_next
+            d_f = d_c * c_prev
+            d_i = d_c * g
+            d_g = d_c * i
+            d_c_next = d_c * f
+
+            d_z = np.concatenate(
+                [
+                    d_i * self._sigmoid.backward(i),
+                    d_f * self._sigmoid.backward(f),
+                    d_g * self._tanh.backward(g),
+                    d_o * self._sigmoid.backward(o),
+                ]
+            )
+            d_wx += np.outer(x_t, d_z)
+            d_wh += np.outer(h_prev, d_z)
+            d_b += d_z
+            d_inputs[t] = d_z @ wx.T
+            d_h_next = d_z @ wh.T
+
+        grads = {
+            f"{self.name}/Wx": d_wx,
+            f"{self.name}/Wh": d_wh,
+            f"{self.name}/b": d_b,
+        }
+        return d_inputs, grads

@@ -1,0 +1,35 @@
+"""Loss functions for the NumPy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DimensionError
+
+
+class MeanSquaredError:
+    """Mean squared error over all elements of the prediction.
+
+    This matches the paper's training objective (eq. 10): the sum of squared
+    per-coordinate errors averaged over the batch.
+    """
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Scalar loss for a batch of predictions."""
+        predictions, targets = self._check(predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the loss w.r.t. the predictions."""
+        predictions, targets = self._check(predictions, targets)
+        return 2.0 * (predictions - targets) / predictions.size
+
+    @staticmethod
+    def _check(predictions: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise DimensionError(
+                f"predictions {predictions.shape} and targets {targets.shape} shapes differ"
+            )
+        return predictions, targets

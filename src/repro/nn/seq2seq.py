@@ -1,0 +1,191 @@
+"""Many-to-one sequence-to-sequence model (LSTM encoder + LSTM decoder).
+
+The paper's seq2seq forecaster (§IV-B) is a many-to-one architecture: a
+sequence of the last ``R`` commands is fed to an encoder LSTM of 200 units,
+its output sequence is "interpreted" by a decoder LSTM of 30 units, and the
+decoder's final hidden state is projected to a single forecast command
+``ĉ_{i+1} ∈ R^d``.  Both layers use ReLU activations, training uses Adam with
+the standard hyper-parameters and an MSE loss over mini-batches.
+
+The default layer sizes here match the paper (200 / 30) but are configurable
+so that tests and CI-sized benchmarks can run quickly; the Fig. 7 experiment
+notes the vast number of weights (``|w| = 163 803`` in the paper) as the
+reason seq2seq under-performs, and we reproduce that qualitative outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import ensure_int, rng_from
+from ..errors import DimensionError, NotFittedError
+from .layers import Dense, LstmLayer
+from .losses import MeanSquaredError
+from .optimizers import Adam
+
+
+@dataclass
+class Seq2SeqTrainingResult:
+    """Training history of a :class:`Seq2SeqModel` fit."""
+
+    epochs: int
+    batch_size: int
+    loss_history: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Training loss after the final epoch."""
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+
+class Seq2SeqModel:
+    """LSTM encoder–decoder mapping a command sequence to the next command.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality ``d`` of each command (6 for the Niryo One).
+    encoder_units / decoder_units:
+        Hidden sizes of the encoder and decoder LSTM layers (paper: 200 / 30).
+    activation:
+        Output activation of both LSTM layers (paper: ReLU).
+    learning_rate, beta1, beta2, epsilon:
+        Adam hyper-parameters (paper defaults).
+    seed:
+        Seed for reproducible weight initialisation and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        encoder_units: int = 200,
+        decoder_units: int = 30,
+        activation: str = "relu",
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-7,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.input_dim = ensure_int("input_dim", input_dim, minimum=1)
+        self.encoder_units = ensure_int("encoder_units", encoder_units, minimum=1)
+        self.decoder_units = ensure_int("decoder_units", decoder_units, minimum=1)
+        self.rng = rng_from(seed)
+        self.encoder = LstmLayer(
+            self.input_dim, self.encoder_units, output_activation=activation,
+            name="encoder", seed=self.rng,
+        )
+        self.decoder = LstmLayer(
+            self.encoder_units, self.decoder_units, output_activation=activation,
+            name="decoder", seed=self.rng,
+        )
+        self.head = Dense(self.decoder_units, self.input_dim, name="head", seed=self.rng)
+        self.optimizer = Adam(learning_rate=learning_rate, beta1=beta1, beta2=beta2, epsilon=epsilon)
+        self.loss = MeanSquaredError()
+        self._fitted = False
+
+    # ------------------------------------------------------------ parameters
+    @property
+    def params(self) -> dict[str, np.ndarray]:
+        """Flat dictionary of every weight array (the paper's weight vector w)."""
+        merged: dict[str, np.ndarray] = {}
+        merged.update(self.encoder.params)
+        merged.update(self.decoder.params)
+        merged.update(self.head.params)
+        return merged
+
+    @property
+    def n_parameters(self) -> int:
+        """Total number of scalar weights ``|w|``."""
+        return self.encoder.n_parameters + self.decoder.n_parameters + self.head.n_parameters
+
+    # --------------------------------------------------------------- forward
+    def _forward_sequence(self, sequence: np.ndarray) -> np.ndarray:
+        """Forward one ``(R, d)`` sequence to a single ``(d,)`` prediction."""
+        encoded = self.encoder.forward(sequence)
+        decoded = self.decoder.forward(encoded)
+        return self.head.forward(decoded[-1:]).ravel()
+
+    def _backward_sequence(self, d_prediction: np.ndarray) -> dict[str, np.ndarray]:
+        """Backward pass for one sequence given ``dL/d prediction``."""
+        d_head_in, head_grads = self.head.backward(d_prediction.reshape(1, -1))
+        steps = len(self.decoder._cache["x"])
+        d_decoder_out = np.zeros((steps, self.decoder_units))
+        d_decoder_out[-1] = d_head_in.ravel()
+        d_encoder_out, decoder_grads = self.decoder.backward(d_decoder_out)
+        _, encoder_grads = self.encoder.backward(d_encoder_out)
+        grads: dict[str, np.ndarray] = {}
+        grads.update(encoder_grads)
+        grads.update(decoder_grads)
+        grads.update(head_grads)
+        return grads
+
+    # ------------------------------------------------------------------ fit
+    def fit(
+        self,
+        sequences: np.ndarray,
+        targets: np.ndarray,
+        epochs: int = 5,
+        batch_size: int = 32,
+        verbose: bool = False,
+    ) -> Seq2SeqTrainingResult:
+        """Train on ``(N, R, d)`` sequences and ``(N, d)`` next-command targets."""
+        sequences = np.asarray(sequences, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if sequences.ndim != 3 or sequences.shape[2] != self.input_dim:
+            raise DimensionError(
+                f"sequences must have shape (N, R, {self.input_dim}), got {sequences.shape}"
+            )
+        if targets.shape != (sequences.shape[0], self.input_dim):
+            raise DimensionError(
+                f"targets must have shape ({sequences.shape[0]}, {self.input_dim}), got {targets.shape}"
+            )
+        epochs = ensure_int("epochs", epochs, minimum=1)
+        batch_size = ensure_int("batch_size", batch_size, minimum=1)
+
+        n_samples = sequences.shape[0]
+        result = Seq2SeqTrainingResult(epochs=epochs, batch_size=batch_size)
+        for epoch in range(epochs):
+            order = self.rng.permutation(n_samples)
+            epoch_losses = []
+            for start in range(0, n_samples, batch_size):
+                batch = order[start : start + batch_size]
+                batch_grads: dict[str, np.ndarray] | None = None
+                batch_loss = 0.0
+                for index in batch:
+                    prediction = self._forward_sequence(sequences[index])
+                    batch_loss += self.loss.value(prediction, targets[index])
+                    d_prediction = self.loss.gradient(prediction, targets[index])
+                    grads = self._backward_sequence(d_prediction)
+                    if batch_grads is None:
+                        batch_grads = {k: v.copy() for k, v in grads.items()}
+                    else:
+                        for key, value in grads.items():
+                            batch_grads[key] += value
+                batch_grads = {k: v / len(batch) for k, v in batch_grads.items()}
+                self.optimizer.update(self.params, batch_grads)
+                epoch_losses.append(batch_loss / len(batch))
+            result.loss_history.append(float(np.mean(epoch_losses)))
+            if verbose:  # pragma: no cover - informational printout
+                print(f"epoch {epoch + 1}/{epochs}: loss={result.loss_history[-1]:.6f}")
+        self._fitted = True
+        return result
+
+    # -------------------------------------------------------------- predict
+    def predict(self, sequence: np.ndarray) -> np.ndarray:
+        """Forecast the next command from one ``(R, d)`` history sequence."""
+        if not self._fitted:
+            raise NotFittedError("Seq2SeqModel.predict called before fit")
+        sequence = np.atleast_2d(np.asarray(sequence, dtype=float))
+        if sequence.shape[1] != self.input_dim:
+            raise DimensionError(f"sequence must have {self.input_dim} columns, got {sequence.shape[1]}")
+        return self._forward_sequence(sequence)
+
+    def predict_batch(self, sequences: np.ndarray) -> np.ndarray:
+        """Forecast one command per sequence in an ``(N, R, d)`` batch."""
+        sequences = np.asarray(sequences, dtype=float)
+        if sequences.ndim != 3:
+            raise DimensionError("sequences must be a 3-D array (N, R, d)")
+        return np.array([self.predict(sequence) for sequence in sequences])

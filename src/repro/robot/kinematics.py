@@ -1,0 +1,142 @@
+"""Denavit–Hartenberg forward kinematics for serial manipulators.
+
+The evaluation metric of the paper is the *distance from origin* of the
+robot's end effector over time (Figs. 6, 9 and 10) and the RMSE between the
+executed and the defined trajectory (Figs. 8–10).  Computing it requires
+mapping the 6-dimensional joint commands ``c_i ∈ R^d`` to Cartesian
+end-effector positions, i.e. forward kinematics.
+
+This module implements the standard DH convention: each link ``k`` carries
+parameters ``(a, alpha, d, theta_offset)`` and a joint type, and the
+homogeneous transform of link ``k`` for joint variable ``q`` is::
+
+    T_k(q) = Rot_z(theta) * Trans_z(d) * Trans_x(a) * Rot_x(alpha)
+
+with ``theta = q + theta_offset`` for revolute joints and
+``d = q + d_offset`` for prismatic joints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import DimensionError, RobotError
+
+
+@dataclass(frozen=True)
+class DhLink:
+    """One link of a serial manipulator in DH convention.
+
+    Attributes
+    ----------
+    a:
+        Link length (metres).
+    alpha:
+        Link twist (radians).
+    d:
+        Link offset (metres); for prismatic joints this is the joint-variable
+        offset.
+    theta:
+        Joint-angle offset (radians); for revolute joints the joint variable
+        is added to this offset.
+    joint_type:
+        ``"revolute"`` or ``"prismatic"``.
+    """
+
+    a: float
+    alpha: float
+    d: float
+    theta: float
+    joint_type: str = "revolute"
+
+    def __post_init__(self) -> None:
+        if self.joint_type not in ("revolute", "prismatic"):
+            raise RobotError(f"unknown joint type {self.joint_type!r}")
+
+    def transform(self, q: float) -> np.ndarray:
+        """Homogeneous transform of this link for joint value ``q``."""
+        if self.joint_type == "revolute":
+            theta = self.theta + q
+            d = self.d
+        else:
+            theta = self.theta
+            d = self.d + q
+        return dh_transform(self.a, self.alpha, d, theta)
+
+
+def dh_transform(a: float, alpha: float, d: float, theta: float) -> np.ndarray:
+    """Return the 4x4 homogeneous transform for one set of DH parameters."""
+    ct, st = np.cos(theta), np.sin(theta)
+    ca, sa = np.cos(alpha), np.sin(alpha)
+    return np.array(
+        [
+            [ct, -st * ca, st * sa, a * ct],
+            [st, ct * ca, -ct * sa, a * st],
+            [0.0, sa, ca, d],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+
+
+class ForwardKinematics:
+    """Forward-kinematics evaluator for a chain of :class:`DhLink` objects."""
+
+    def __init__(self, links: Sequence[DhLink], base_transform: np.ndarray | None = None) -> None:
+        if not links:
+            raise RobotError("a kinematic chain needs at least one link")
+        self.links = list(links)
+        if base_transform is None:
+            base_transform = np.eye(4)
+        base_transform = np.asarray(base_transform, dtype=float)
+        if base_transform.shape != (4, 4):
+            raise DimensionError("base_transform must be a 4x4 homogeneous matrix")
+        self.base_transform = base_transform
+
+    @property
+    def n_joints(self) -> int:
+        """Number of actuated joints in the chain."""
+        return len(self.links)
+
+    def end_effector_transform(self, joints: Sequence[float]) -> np.ndarray:
+        """Full 4x4 pose of the end effector for the given joint vector."""
+        joints = np.asarray(joints, dtype=float).ravel()
+        if joints.size != self.n_joints:
+            raise DimensionError(
+                f"expected {self.n_joints} joint values, got {joints.size}"
+            )
+        transform = self.base_transform.copy()
+        for link, q in zip(self.links, joints):
+            transform = transform @ link.transform(float(q))
+        return transform
+
+    def end_effector_position(self, joints: Sequence[float]) -> np.ndarray:
+        """Cartesian ``(x, y, z)`` position of the end effector (metres)."""
+        return self.end_effector_transform(joints)[:3, 3]
+
+    def positions(self, joint_trajectory: np.ndarray) -> np.ndarray:
+        """Vectorised FK over a ``(n_steps, n_joints)`` joint trajectory."""
+        joint_trajectory = np.asarray(joint_trajectory, dtype=float)
+        if joint_trajectory.ndim != 2 or joint_trajectory.shape[1] != self.n_joints:
+            raise DimensionError(
+                f"joint trajectory must have shape (n, {self.n_joints}), got {joint_trajectory.shape}"
+            )
+        return np.array([self.end_effector_position(row) for row in joint_trajectory])
+
+    def link_positions(self, joints: Sequence[float]) -> np.ndarray:
+        """Positions of every link frame origin (useful for plotting the arm)."""
+        joints = np.asarray(joints, dtype=float).ravel()
+        if joints.size != self.n_joints:
+            raise DimensionError(f"expected {self.n_joints} joint values, got {joints.size}")
+        transform = self.base_transform.copy()
+        points = [transform[:3, 3].copy()]
+        for link, q in zip(self.links, joints):
+            transform = transform @ link.transform(float(q))
+            points.append(transform[:3, 3].copy())
+        return np.array(points)
+
+    def reach(self) -> float:
+        """Upper bound on the arm's reach (sum of |a| and |d| of every link)."""
+        return float(sum(abs(link.a) + abs(link.d) for link in self.links))

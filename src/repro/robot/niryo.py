@@ -1,0 +1,129 @@
+"""Niryo-One-like 6-axis arm description.
+
+The testbed robot is a Niryo One: a 6-axis educational/research manipulator
+driven by a Raspberry Pi 3 over ROS at a 50 Hz command rate, with a command
+moving offset of 0.04 rad, a maximum Cartesian speed of 0.4 m/s on the
+"steeper" axes and 90°/s on the servo axes.
+
+This module encodes:
+
+* ``NIRYO_ONE_DH`` — a DH parameterisation with link lengths close to the
+  published Niryo One geometry (base 183 mm, arm 210 mm, forearm 221.5 mm,
+  wrist 23.7 + 55 mm), which reproduces the 200–500 mm distance-from-origin
+  range seen in the paper's Fig. 6;
+* :class:`NiryoOneLimits` — joint position and velocity limits plus the
+  command interface constants (Ω, tolerance τ, moving offset);
+* :class:`NiryoOneArm` — a convenience façade bundling kinematics, limits and
+  helpers (clamping, home pose, millimetre conversions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DimensionError
+from .kinematics import DhLink, ForwardKinematics
+
+#: DH table (a [m], alpha [rad], d [m], theta offset [rad]) for a Niryo-One-like arm.
+NIRYO_ONE_DH: tuple[DhLink, ...] = (
+    DhLink(a=0.0, alpha=np.pi / 2.0, d=0.183, theta=0.0),
+    DhLink(a=0.210, alpha=0.0, d=0.0, theta=np.pi / 2.0),
+    DhLink(a=0.0415, alpha=np.pi / 2.0, d=0.0, theta=0.0),
+    DhLink(a=0.0, alpha=-np.pi / 2.0, d=0.180, theta=0.0),
+    DhLink(a=0.0, alpha=np.pi / 2.0, d=0.0, theta=0.0),
+    DhLink(a=0.0, alpha=0.0, d=0.0237 + 0.055, theta=0.0),
+)
+
+
+@dataclass
+class NiryoOneLimits:
+    """Joint limits and command-interface constants of the Niryo One.
+
+    Attributes
+    ----------
+    position_min / position_max:
+        Per-joint position limits in radians.
+    velocity_max:
+        Per-joint velocity limits in rad/s.  The base/shoulder/elbow joints
+        ("steeper axes") are limited so the end effector stays below
+        ~0.4 m/s; the wrist servo axes allow 90°/s (~1.57 rad/s).
+    command_period_ms:
+        Ω — nominal interval between remote-control commands (20 ms → 50 Hz).
+    tolerance_ms:
+        τ — extra delay the driver tolerates before discarding a command.
+        The Niryo ROS stack uses τ = 0.
+    moving_offset_rad:
+        Maximum per-command joint increment the remote controller issues.
+    """
+
+    position_min: np.ndarray = field(
+        default_factory=lambda: np.array([-3.054, -1.571, -1.397, -3.054, -1.745, -2.574])
+    )
+    position_max: np.ndarray = field(
+        default_factory=lambda: np.array([3.054, 0.640, 1.570, 3.054, 1.920, 2.574])
+    )
+    velocity_max: np.ndarray = field(
+        default_factory=lambda: np.array([1.0, 0.8, 1.0, 1.57, 1.57, 1.57])
+    )
+    command_period_ms: float = 20.0
+    tolerance_ms: float = 0.0
+    moving_offset_rad: float = 0.04
+
+    def clamp(self, joints: np.ndarray) -> np.ndarray:
+        """Clamp a joint vector (or trajectory) to the position limits."""
+        joints = np.asarray(joints, dtype=float)
+        return np.clip(joints, self.position_min, self.position_max)
+
+    def max_step(self, dt_s: float) -> np.ndarray:
+        """Largest per-joint step achievable in ``dt_s`` seconds."""
+        return self.velocity_max * dt_s
+
+
+class NiryoOneArm:
+    """Façade bundling the Niryo-One kinematics, limits and conventions."""
+
+    #: Number of actuated joints.
+    N_JOINTS = 6
+
+    def __init__(self, limits: NiryoOneLimits | None = None) -> None:
+        self.limits = limits if limits is not None else NiryoOneLimits()
+        self.kinematics = ForwardKinematics(NIRYO_ONE_DH)
+
+    @property
+    def n_joints(self) -> int:
+        """Dimensionality ``d`` of a control command."""
+        return self.N_JOINTS
+
+    def home_pose(self) -> np.ndarray:
+        """Resting joint configuration used as the start of every task."""
+        return np.array([0.0, 0.25, -0.8, 0.0, 0.0, 0.0])
+
+    def clamp(self, joints: np.ndarray) -> np.ndarray:
+        """Clamp joints to the arm's position limits."""
+        return self.limits.clamp(joints)
+
+    def end_effector_mm(self, joints: np.ndarray) -> np.ndarray:
+        """End-effector Cartesian position in millimetres."""
+        joints = np.asarray(joints, dtype=float).ravel()
+        if joints.size != self.N_JOINTS:
+            raise DimensionError(f"expected {self.N_JOINTS} joints, got {joints.size}")
+        return self.kinematics.end_effector_position(joints) * 1000.0
+
+    def distance_from_origin_mm(self, joints: np.ndarray) -> float:
+        """Euclidean distance of the end effector from the robot base (mm).
+
+        This is the scalar the paper plots on the y-axis of Figs. 6, 9, 10.
+        """
+        return float(np.linalg.norm(self.end_effector_mm(joints)))
+
+    def trajectory_distance_mm(self, joint_trajectory: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`distance_from_origin_mm` over a joint trajectory."""
+        joint_trajectory = np.asarray(joint_trajectory, dtype=float)
+        if joint_trajectory.ndim != 2 or joint_trajectory.shape[1] != self.N_JOINTS:
+            raise DimensionError(
+                f"joint trajectory must have shape (n, {self.N_JOINTS}), got {joint_trajectory.shape}"
+            )
+        positions = self.kinematics.positions(joint_trajectory) * 1000.0
+        return np.linalg.norm(positions, axis=1)

@@ -1,0 +1,132 @@
+"""Trajectory containers and error metrics.
+
+Every figure of the paper's evaluation reports either the distance-from-origin
+trajectory of the end effector (Figs. 6, 9, 10) or the RMSE between the
+executed and the defined trajectory (Figs. 7–10).  This module provides the
+shared containers and metric functions so experiments, tests and benchmarks
+compute them identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DimensionError
+from .niryo import NiryoOneArm
+
+
+@dataclass
+class JointTrajectory:
+    """A timestamped joint-space trajectory.
+
+    Attributes
+    ----------
+    times_s:
+        Sample times in seconds, shape ``(n,)``.
+    joints:
+        Joint positions, shape ``(n, d)``.
+    label:
+        Free-form label ("defined", "no-forecast", "foreco", ...).
+    """
+
+    times_s: np.ndarray
+    joints: np.ndarray
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.times_s = np.asarray(self.times_s, dtype=float).ravel()
+        self.joints = np.asarray(self.joints, dtype=float)
+        if self.joints.ndim != 2:
+            raise DimensionError("joints must be a 2-D array (n_steps, n_joints)")
+        if self.times_s.size != self.joints.shape[0]:
+            raise DimensionError(
+                f"times ({self.times_s.size}) and joints ({self.joints.shape[0]}) lengths differ"
+            )
+
+    def __len__(self) -> int:
+        return self.joints.shape[0]
+
+    @property
+    def n_joints(self) -> int:
+        """Dimensionality of each command."""
+        return self.joints.shape[1]
+
+    @property
+    def duration_s(self) -> float:
+        """Total duration covered by the trajectory."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.times_s[-1] - self.times_s[0])
+
+    def slice_time(self, start_s: float, end_s: float) -> "JointTrajectory":
+        """Return the sub-trajectory with ``start_s <= t <= end_s``."""
+        mask = (self.times_s >= start_s) & (self.times_s <= end_s)
+        return JointTrajectory(self.times_s[mask], self.joints[mask], label=self.label)
+
+    def distance_from_origin_mm(self, arm: NiryoOneArm | None = None) -> np.ndarray:
+        """End-effector distance-from-origin series in millimetres."""
+        arm = arm if arm is not None else NiryoOneArm()
+        return arm.trajectory_distance_mm(self.joints)
+
+
+@dataclass
+class TrajectoryError:
+    """Error summary between an executed and a defined trajectory."""
+
+    rmse_mm: float
+    max_error_mm: float
+    mean_error_mm: float
+    per_step_error_mm: np.ndarray = field(repr=False)
+
+    @classmethod
+    def between(
+        cls,
+        executed: JointTrajectory,
+        defined: JointTrajectory,
+        arm: NiryoOneArm | None = None,
+    ) -> "TrajectoryError":
+        """Compute the Cartesian error between two equally-sampled trajectories."""
+        if len(executed) != len(defined):
+            raise DimensionError(
+                f"trajectories must have equal length ({len(executed)} vs {len(defined)})"
+            )
+        arm = arm if arm is not None else NiryoOneArm()
+        executed_mm = arm.kinematics.positions(executed.joints) * 1000.0
+        defined_mm = arm.kinematics.positions(defined.joints) * 1000.0
+        errors = np.linalg.norm(executed_mm - defined_mm, axis=1)
+        return cls(
+            rmse_mm=float(np.sqrt(np.mean(errors ** 2))),
+            max_error_mm=float(errors.max()) if errors.size else 0.0,
+            mean_error_mm=float(errors.mean()) if errors.size else 0.0,
+            per_step_error_mm=errors,
+        )
+
+
+def distance_from_origin_mm(joints: np.ndarray, arm: NiryoOneArm | None = None) -> np.ndarray:
+    """Distance-from-origin series for a raw ``(n, d)`` joint array."""
+    arm = arm if arm is not None else NiryoOneArm()
+    return arm.trajectory_distance_mm(np.asarray(joints, dtype=float))
+
+
+def trajectory_rmse_mm(
+    executed: np.ndarray,
+    defined: np.ndarray,
+    arm: NiryoOneArm | None = None,
+) -> float:
+    """RMSE (mm) between two raw joint trajectories of equal length.
+
+    This is the headline metric of Figs. 8–10: the root-mean-square Cartesian
+    distance between the end effector following ``executed`` and the end
+    effector following ``defined``.
+    """
+    executed = np.asarray(executed, dtype=float)
+    defined = np.asarray(defined, dtype=float)
+    if executed.shape != defined.shape:
+        raise DimensionError(f"trajectory shapes differ: {executed.shape} vs {defined.shape}")
+    arm = arm if arm is not None else NiryoOneArm()
+    executed_mm = arm.kinematics.positions(executed) * 1000.0
+    defined_mm = arm.kinematics.positions(defined) * 1000.0
+    errors = np.linalg.norm(executed_mm - defined_mm, axis=1)
+    return float(np.sqrt(np.mean(errors ** 2)))

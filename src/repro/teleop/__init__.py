@@ -1,0 +1,33 @@
+"""Teleoperation substrate: tasks, operators and the remote controller.
+
+The paper's datasets were produced by two human operators (one experienced,
+one inexperienced) driving the Niryo One through 100 repetitions of a
+pick-and-place task with a joystick at 50 Hz over an ideal (Ethernet) link.
+This package synthesises equivalent command streams:
+
+* :mod:`repro.teleop.pick_place` — the pick-and-place task as a sequence of
+  joint-space waypoints with dwell times (pick, lift, carry, place, return).
+* :mod:`repro.teleop.operator` — operator models that turn the task into a
+  50 Hz joint-command stream; the experienced operator is smooth and
+  consistent, the inexperienced one adds jitter, overshoot and variable
+  speed, mirroring the paper's two datasets.
+* :mod:`repro.teleop.controller` — the remote controller that quantises the
+  operator's motion into per-command joint increments bounded by the robot's
+  0.04 rad moving offset.
+"""
+
+from .controller import CommandStream, RemoteController
+from .operator import OperatorModel, OperatorProfile, experienced_operator, inexperienced_operator
+from .pick_place import PickPlaceTask, Waypoint, default_pick_place_task
+
+__all__ = [
+    "CommandStream",
+    "RemoteController",
+    "OperatorModel",
+    "OperatorProfile",
+    "experienced_operator",
+    "inexperienced_operator",
+    "PickPlaceTask",
+    "Waypoint",
+    "default_pick_place_task",
+]

@@ -1,0 +1,122 @@
+"""Pick-and-place task description.
+
+The evaluation workload is a repetitive pick-and-place task: the arm starts
+at its home pose, moves above the pick location, descends to grasp, lifts,
+carries the object across the workspace, descends to place it, and returns
+home.  The paper's Fig. 6 shows the resulting distance-from-origin trace:
+a periodic pattern oscillating roughly between 200 mm and 500 mm.
+
+A task is a list of :class:`Waypoint` objects — joint-space poses with dwell
+times — and :func:`default_pick_place_task` builds a Niryo-One-sized instance
+whose Cartesian sweep matches the range in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..robot.niryo import NiryoOneArm
+
+
+@dataclass
+class Waypoint:
+    """One joint-space waypoint of a teleoperated task.
+
+    Attributes
+    ----------
+    joints:
+        Target joint configuration (radians), shape ``(d,)``.
+    move_duration_s:
+        Nominal time an operator takes to move from the previous waypoint to
+        this one.
+    dwell_s:
+        Time the operator holds the pose once reached (e.g. closing the
+        gripper at the pick point).
+    name:
+        Label used in logs and plots.
+    """
+
+    joints: np.ndarray
+    move_duration_s: float
+    dwell_s: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.joints = np.asarray(self.joints, dtype=float).ravel()
+        if self.move_duration_s <= 0:
+            raise ConfigurationError("move_duration_s must be positive")
+        if self.dwell_s < 0:
+            raise ConfigurationError("dwell_s must be non-negative")
+
+
+@dataclass
+class PickPlaceTask:
+    """A repetitive task as an ordered list of waypoints.
+
+    One *cycle* of the task visits every waypoint once; operators repeat the
+    cycle a configurable number of times to build a dataset.
+    """
+
+    waypoints: list[Waypoint] = field(default_factory=list)
+    name: str = "pick-and-place"
+
+    def __post_init__(self) -> None:
+        if not self.waypoints:
+            raise ConfigurationError("a task needs at least one waypoint")
+        n_joints = self.waypoints[0].joints.size
+        for waypoint in self.waypoints:
+            if waypoint.joints.size != n_joints:
+                raise ConfigurationError("all waypoints must have the same number of joints")
+
+    @property
+    def n_joints(self) -> int:
+        """Joint dimensionality of the task."""
+        return self.waypoints[0].joints.size
+
+    def cycle_duration_s(self) -> float:
+        """Nominal duration of one task cycle."""
+        return float(sum(w.move_duration_s + w.dwell_s for w in self.waypoints))
+
+    def joint_matrix(self) -> np.ndarray:
+        """All waypoint joint vectors stacked into an ``(n_waypoints, d)`` array."""
+        return np.array([w.joints for w in self.waypoints])
+
+    def cartesian_extent_mm(self, arm: NiryoOneArm | None = None) -> tuple[float, float]:
+        """Min/max distance-from-origin over the waypoints (sanity checks)."""
+        arm = arm if arm is not None else NiryoOneArm()
+        distances = [arm.distance_from_origin_mm(w.joints) for w in self.waypoints]
+        return float(min(distances)), float(max(distances))
+
+
+def default_pick_place_task(arm: NiryoOneArm | None = None) -> PickPlaceTask:
+    """Niryo-One-sized pick-and-place cycle matching the paper's Fig. 6 range.
+
+    The waypoints sweep the end effector between roughly 200 mm (tucked pick
+    pose close to the base) and 500 mm (extended carry/place pose), with
+    dwell times at the pick and place poses for the gripper action.
+    """
+    arm = arm if arm is not None else NiryoOneArm()
+    home = arm.home_pose()
+    above_pick = np.array([0.75, -0.25, 0.35, 0.0, -0.45, 0.0])
+    pick = np.array([0.75, -0.55, 0.75, 0.0, -0.85, 0.0])
+    lift = np.array([0.75, -0.10, 0.20, 0.0, -0.30, 0.0])
+    carry = np.array([-0.35, 0.20, -0.35, 0.0, 0.10, 0.0])
+    above_place = np.array([-0.80, -0.05, 0.05, 0.0, -0.20, 0.0])
+    place = np.array([-0.80, -0.35, 0.45, 0.0, -0.55, 0.0])
+    retreat = np.array([-0.40, 0.15, -0.45, 0.0, 0.05, 0.0])
+
+    waypoints = [
+        Waypoint(home, move_duration_s=1.6, dwell_s=0.2, name="home"),
+        Waypoint(above_pick, move_duration_s=2.6, dwell_s=0.1, name="above-pick"),
+        Waypoint(pick, move_duration_s=1.6, dwell_s=0.4, name="pick"),
+        Waypoint(lift, move_duration_s=1.4, dwell_s=0.1, name="lift"),
+        Waypoint(carry, move_duration_s=3.0, dwell_s=0.1, name="carry"),
+        Waypoint(above_place, move_duration_s=2.2, dwell_s=0.1, name="above-place"),
+        Waypoint(place, move_duration_s=1.6, dwell_s=0.4, name="place"),
+        Waypoint(retreat, move_duration_s=1.4, dwell_s=0.1, name="retreat"),
+        Waypoint(home, move_duration_s=2.4, dwell_s=0.3, name="return-home"),
+    ]
+    return PickPlaceTask(waypoints=waypoints)

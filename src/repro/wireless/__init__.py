@@ -1,0 +1,50 @@
+"""IEEE 802.11 wireless substrate with electromagnetic interference.
+
+This package reproduces the modelling chain the paper relies on (§V):
+
+* :mod:`repro.wireless.bianchi` — Bianchi's DCF fixed point extended with a
+  non-802.11 interference source (active with probability ``p_if`` for
+  ``T_if`` slots), following Bosch et al. [7].
+* :mod:`repro.wireless.delay_model` — the retransmission distribution ``a_j``,
+  the per-retransmission mean delays ``E_j[Δ_W]`` and the hyper-exponential
+  service distribution used by the G/HEXP/1/Q access-point queue, plus the
+  theoretical results from the paper's Appendix (bounded-on-average delay,
+  divergence, causality violation).
+* :mod:`repro.wireless.channel` — per-command wireless delay/loss sampler
+  (queue simulation or direct sampling) used by the simulation experiments.
+* :mod:`repro.wireless.jammer` — a Gilbert–Elliott style bursty jammer used
+  for the experimental-evaluation reproduction (Fig. 10).
+* :mod:`repro.wireless.lossgen` — deterministic consecutive-loss injector for
+  the controlled experiments (Fig. 9).
+"""
+
+from .bianchi import DcfModel, DcfParameters, DcfSolution, InterferenceSource
+from .channel import ChannelSample, CommandDelayTrace, WirelessChannel
+from .delay_model import (
+    Ieee80211DelayModel,
+    RetransmissionDistribution,
+    causality_violation_probability,
+    expected_delay_bound,
+)
+from .jammer import GilbertElliottJammer, JammerConfig
+from .lossgen import ConsecutiveLossInjector, LossPattern, PeriodicLossInjector, RandomLossInjector
+
+__all__ = [
+    "DcfModel",
+    "DcfParameters",
+    "DcfSolution",
+    "InterferenceSource",
+    "ChannelSample",
+    "CommandDelayTrace",
+    "WirelessChannel",
+    "Ieee80211DelayModel",
+    "RetransmissionDistribution",
+    "causality_violation_probability",
+    "expected_delay_bound",
+    "GilbertElliottJammer",
+    "JammerConfig",
+    "ConsecutiveLossInjector",
+    "LossPattern",
+    "PeriodicLossInjector",
+    "RandomLossInjector",
+]

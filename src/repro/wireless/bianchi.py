@@ -1,0 +1,278 @@
+"""Bianchi DCF model extended with a non-IEEE 802.11 interference source.
+
+The paper's simulation study (§V) relies on the analytical model of Bosch,
+Latré and Blondia [7], itself a refinement of Bianchi's saturation analysis of
+the 802.11 Distributed Coordination Function (DCF).  The key quantities it
+produces are:
+
+* ``tau`` — the per-slot transmission probability of a station,
+* ``p``   — the conditional failure probability of a transmission attempt
+  (collision with another station *or* corruption by the interferer),
+* the slot-time composition (idle / success / collision / interference),
+
+from which :mod:`repro.wireless.delay_model` derives the retransmission
+distribution ``a_j`` and the per-retransmission delays ``E_j[Δ_W]``.
+
+The fixed point follows Bianchi's classic two-equation system
+
+.. math::
+
+    \\tau = \\frac{2 (1 - 2p)}{(1 - 2p)(W_0 + 1) + p W_0 (1 - (2p)^m)}
+
+    p = 1 - (1 - \\tau)^{n - 1} (1 - q_{if})
+
+where the second equation is Bianchi's collision probability multiplied by
+the probability that the interference source does not corrupt the slot.  The
+interferer is modelled as in [7]: in any idle slot it starts transmitting with
+probability ``p_if`` and then occupies the medium for ``T_if`` consecutive
+slots, so the stationary probability that an arbitrary slot is covered by
+interference is ``q_if = p_if * T_if / (1 + p_if * T_if)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import ensure_int, ensure_positive, ensure_probability
+from ..errors import ChannelError
+
+
+@dataclass
+class InterferenceSource:
+    """Non-802.11 interference source (e.g. the Silvercrest jammer).
+
+    Attributes
+    ----------
+    probability:
+        Probability ``p_if`` that the source starts emitting in a given idle
+        slot.  The paper sweeps 1%, 2.5% and 5%.
+    duration_slots:
+        Number of consecutive slots ``T_if`` the source occupies once active.
+        The paper sweeps 10, 50 and 100 slots.
+    """
+
+    probability: float = 0.0
+    duration_slots: int = 0
+
+    def __post_init__(self) -> None:
+        ensure_probability("interference probability", self.probability)
+        self.duration_slots = ensure_int("interference duration_slots", self.duration_slots, minimum=0)
+
+    @property
+    def occupancy(self) -> float:
+        """Stationary probability that a slot is covered by interference."""
+        if self.probability == 0.0 or self.duration_slots == 0:
+            return 0.0
+        load = self.probability * self.duration_slots
+        return load / (1.0 + load)
+
+    @property
+    def is_active(self) -> bool:
+        """True when the source actually interferes with the channel."""
+        return self.occupancy > 0.0
+
+
+@dataclass
+class DcfParameters:
+    """Physical and MAC-layer parameters of the IEEE 802.11 link.
+
+    Default values correspond to 802.11n at 2.4 GHz with the short control
+    frames used for 50 Hz teleoperation commands, in line with the parameter
+    table the paper borrows from [7, Table 2].
+    """
+
+    n_stations: int = 5
+    cw_min: int = 16
+    max_backoff_stage: int = 5
+    retry_limit: int = 6
+    slot_time_us: float = 9.0
+    sifs_us: float = 16.0
+    difs_us: float = 34.0
+    payload_bits: int = 1024
+    phy_rate_mbps: float = 54.0
+    ack_bits: int = 112
+    header_bits: int = 400
+    propagation_us: float = 1.0
+    interference: InterferenceSource = field(default_factory=InterferenceSource)
+
+    def __post_init__(self) -> None:
+        self.n_stations = ensure_int("n_stations", self.n_stations, minimum=1)
+        self.cw_min = ensure_int("cw_min", self.cw_min, minimum=2)
+        self.max_backoff_stage = ensure_int("max_backoff_stage", self.max_backoff_stage, minimum=0)
+        self.retry_limit = ensure_int("retry_limit", self.retry_limit, minimum=1)
+        ensure_positive("slot_time_us", self.slot_time_us)
+        ensure_positive("phy_rate_mbps", self.phy_rate_mbps)
+        ensure_int("payload_bits", self.payload_bits, minimum=1)
+
+    # ------------------------------------------------------------- timings
+    def contention_window(self, stage: int) -> int:
+        """Contention window ``W_k`` at back-off stage ``k`` (doubling, capped)."""
+        stage = min(stage, self.max_backoff_stage)
+        return self.cw_min * (2 ** stage)
+
+    def transmission_time_us(self) -> float:
+        """Time to transmit one frame successfully (T_s), in microseconds."""
+        data_us = (self.payload_bits + self.header_bits) / self.phy_rate_mbps
+        ack_us = self.ack_bits / self.phy_rate_mbps
+        return data_us + self.sifs_us + ack_us + self.difs_us + 2 * self.propagation_us
+
+    def collision_time_us(self) -> float:
+        """Time wasted by a collided / corrupted transmission (T_col)."""
+        data_us = (self.payload_bits + self.header_bits) / self.phy_rate_mbps
+        return data_us + self.difs_us + self.propagation_us
+
+
+@dataclass
+class DcfSolution:
+    """Solution of the DCF fixed point for a given parameter set.
+
+    Attributes
+    ----------
+    tau:
+        Per-slot transmission probability of one station.
+    failure_probability:
+        Conditional probability ``p`` that a transmission attempt fails
+        (collision or interference corruption).
+    interference_occupancy:
+        Stationary probability that a slot is covered by interference.
+    mean_slot_time_us:
+        Expected duration of a virtual slot (idle, success, collision or
+        interference), used as the back-off counting unit ``σ̃``.
+    success_probability:
+        Probability that a slot contains exactly one transmission that is not
+        corrupted by interference.
+    iterations:
+        Number of fixed-point iterations used.
+    """
+
+    tau: float
+    failure_probability: float
+    interference_occupancy: float
+    mean_slot_time_us: float
+    success_probability: float
+    iterations: int
+
+
+class DcfModel:
+    """Fixed-point solver for the interference-extended Bianchi model."""
+
+    def __init__(self, params: DcfParameters) -> None:
+        self.params = params
+
+    # ------------------------------------------------------------ solving
+    def _tau_from_p(self, p: float) -> float:
+        """Bianchi's expression for τ given the failure probability ``p``.
+
+        The closed form has a removable singularity at ``p = 1/2``; near it we
+        use the analytic limit ``2 / (W_0 + 1 + p W_0 m)`` so the fixed-point
+        residual stays continuous and the bisection solver is well behaved.
+        """
+        w0 = self.params.cw_min
+        m = self.params.max_backoff_stage
+        if p >= 1.0:
+            return 2.0 / (w0 * (2 ** m) + 1.0)
+        if abs(1.0 - 2.0 * p) < 1e-9:
+            return 2.0 / (w0 + 1.0 + p * w0 * m)
+        numerator = 2.0 * (1.0 - 2.0 * p)
+        denominator = (1.0 - 2.0 * p) * (w0 + 1.0) + p * w0 * (1.0 - (2.0 * p) ** m)
+        if denominator == 0.0:
+            return 2.0 / (w0 + 1.0 + p * w0 * m)
+        tau = numerator / denominator
+        if tau <= 0.0 or tau > 1.0:
+            return 2.0 / (w0 * (2 ** m) + 1.0)
+        return tau
+
+    def _p_from_tau(self, tau: float) -> float:
+        """Failure probability given τ: collision or interference corruption."""
+        n = self.params.n_stations
+        q_if = self.params.interference.occupancy
+        collision_free = (1.0 - tau) ** (n - 1)
+        return 1.0 - collision_free * (1.0 - q_if)
+
+    def solve(self, tol: float = 1e-12, max_iterations: int = 200) -> DcfSolution:
+        """Solve the two-equation fixed point by bisection on ``p``.
+
+        The residual ``g(p) = p_from_tau(tau_from_p(p)) - p`` is positive at
+        ``p = 0`` and negative at ``p = 1`` for every admissible parameter
+        set, so bisection always converges; non-convergence (which would
+        indicate corrupted parameters) raises
+        :class:`repro.errors.ChannelError`.
+        """
+
+        def residual(p_value: float) -> float:
+            return self._p_from_tau(self._tau_from_p(p_value)) - p_value
+
+        low, high = 0.0, 1.0
+        if residual(low) < 0.0:
+            low_solution = True  # degenerate: already consistent at p ~ 0
+            p = 0.0
+        else:
+            low_solution = False
+            p = 0.5
+        iterations = 0
+        if not low_solution:
+            for iterations in range(1, max_iterations + 1):
+                p = 0.5 * (low + high)
+                value = residual(p)
+                if abs(value) < tol or (high - low) < tol:
+                    break
+                if value > 0.0:
+                    low = p
+                else:
+                    high = p
+            else:
+                raise ChannelError("DCF fixed point did not converge")
+        tau = self._tau_from_p(p)
+
+        tau = float(np.clip(tau, 1e-12, 1.0))
+        p = float(np.clip(p, 0.0, 1.0))
+        return DcfSolution(
+            tau=tau,
+            failure_probability=p,
+            interference_occupancy=self.params.interference.occupancy,
+            mean_slot_time_us=self._mean_slot_time(tau),
+            success_probability=self._success_probability(tau),
+            iterations=iterations,
+        )
+
+    # ------------------------------------------------------- slot analysis
+    def _success_probability(self, tau: float) -> float:
+        """Probability a slot holds exactly one uncorrupted transmission."""
+        n = self.params.n_stations
+        q_if = self.params.interference.occupancy
+        p_tr = 1.0 - (1.0 - tau) ** n
+        if p_tr == 0.0:
+            return 0.0
+        p_single = n * tau * (1.0 - tau) ** (n - 1)
+        return p_single * (1.0 - q_if)
+
+    def _mean_slot_time(self, tau: float) -> float:
+        """Expected virtual-slot duration σ̃ in microseconds.
+
+        Decomposes a slot into idle, successful, collided and
+        interference-covered outcomes, in the spirit of Bianchi's throughput
+        analysis extended with the interference source of [7].
+        """
+        params = self.params
+        n = params.n_stations
+        q_if = params.interference.occupancy
+        p_tr = 1.0 - (1.0 - tau) ** n
+        p_single = n * tau * (1.0 - tau) ** (n - 1)
+        p_success = p_single * (1.0 - q_if)
+        p_interfered = q_if
+        p_idle = (1.0 - p_tr) * (1.0 - q_if)
+        p_collision = max(0.0, 1.0 - p_idle - p_success - p_interfered)
+
+        t_slot = params.slot_time_us
+        t_success = params.transmission_time_us()
+        t_collision = params.collision_time_us()
+        t_interference = max(t_collision, params.interference.duration_slots * t_slot)
+
+        return float(
+            p_idle * t_slot
+            + p_success * t_success
+            + p_collision * t_collision
+            + p_interfered * t_interference
+        )

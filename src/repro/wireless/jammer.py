@@ -1,0 +1,137 @@
+"""Bursty jammer model for the experimental-evaluation reproduction.
+
+The paper's second experimental scenario (§VI-D2, Fig. 10) uses a 2.4 GHz
+Silvercrest wireless transmitter as a jammer: while it emits, commands on the
+802.11 channel are delayed unpredictably or lost in bursts; when it goes
+quiet, the channel recovers and the robot's PID controller needs a few
+hundred milliseconds to settle back onto the defined trajectory.
+
+We reproduce that behaviour with a Gilbert–Elliott style two-state Markov
+model: the channel alternates between a *good* state (commands experience only
+the nominal 802.11 delay and a small residual loss rate) and a *jammed* state
+(commands are lost with high probability and surviving ones are heavily
+delayed).  State holding times are geometric, giving exactly the correlated
+loss bursts observed with a real jammer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import ensure_positive, ensure_probability, rng_from
+from ..errors import ChannelError
+from .channel import ChannelSample, CommandDelayTrace
+
+
+@dataclass
+class JammerConfig:
+    """Configuration of the Gilbert–Elliott jammer.
+
+    Attributes
+    ----------
+    p_good_to_jammed:
+        Per-command probability of the channel entering the jammed state.
+    p_jammed_to_good:
+        Per-command probability of the jammer going quiet again.
+    loss_probability_good:
+        Residual command-loss probability while the channel is good.
+    loss_probability_jammed:
+        Command-loss probability while the jammer is active.
+    delay_good_ms / delay_jammed_ms:
+        Mean command delay (exponentially distributed) in each state.
+    """
+
+    p_good_to_jammed: float = 0.04
+    p_jammed_to_good: float = 0.08
+    loss_probability_good: float = 0.01
+    loss_probability_jammed: float = 0.85
+    delay_good_ms: float = 2.0
+    delay_jammed_ms: float = 40.0
+
+    def __post_init__(self) -> None:
+        ensure_probability("p_good_to_jammed", self.p_good_to_jammed)
+        ensure_probability("p_jammed_to_good", self.p_jammed_to_good)
+        ensure_probability("loss_probability_good", self.loss_probability_good)
+        ensure_probability("loss_probability_jammed", self.loss_probability_jammed)
+        ensure_positive("delay_good_ms", self.delay_good_ms)
+        ensure_positive("delay_jammed_ms", self.delay_jammed_ms)
+
+    def stationary_jammed_fraction(self) -> float:
+        """Long-run fraction of commands sent while the jammer is active."""
+        total = self.p_good_to_jammed + self.p_jammed_to_good
+        if total == 0:
+            return 0.0
+        return self.p_good_to_jammed / total
+
+    def mean_burst_length(self) -> float:
+        """Expected number of consecutive commands affected by one jam burst."""
+        if self.p_jammed_to_good == 0:
+            raise ChannelError("p_jammed_to_good = 0 gives infinite burst length")
+        return 1.0 / self.p_jammed_to_good
+
+
+class GilbertElliottJammer:
+    """Two-state bursty loss/delay channel driven by a jammer.
+
+    The object is stateful: successive calls to :meth:`sample_trace` continue
+    the Markov chain, so several experiment repetitions can share one jammer
+    realisation when desired.  Call :meth:`reset` to return to the good state.
+    """
+
+    GOOD = 0
+    JAMMED = 1
+
+    def __init__(self, config: JammerConfig | None = None, seed: int | np.random.Generator | None = None) -> None:
+        self.config = config if config is not None else JammerConfig()
+        self.rng = rng_from(seed)
+        self.state = self.GOOD
+
+    def reset(self) -> None:
+        """Force the channel back into the good state."""
+        self.state = self.GOOD
+
+    def _step_state(self) -> None:
+        if self.state == self.GOOD:
+            if self.rng.random() < self.config.p_good_to_jammed:
+                self.state = self.JAMMED
+        else:
+            if self.rng.random() < self.config.p_jammed_to_good:
+                self.state = self.GOOD
+
+    def sample_command(self, index: int = 0) -> ChannelSample:
+        """Sample the fate of one command under the current jammer state."""
+        self._step_state()
+        config = self.config
+        if self.state == self.JAMMED:
+            loss_probability = config.loss_probability_jammed
+            mean_delay = config.delay_jammed_ms
+        else:
+            loss_probability = config.loss_probability_good
+            mean_delay = config.delay_good_ms
+        if self.rng.random() < loss_probability:
+            return ChannelSample(index=index, delay_ms=float("inf"), lost=True)
+        delay = float(self.rng.exponential(mean_delay))
+        return ChannelSample(index=index, delay_ms=delay, lost=False)
+
+    def sample_trace(self, n_commands: int) -> CommandDelayTrace:
+        """Sample the fate of ``n_commands`` consecutive commands."""
+        if n_commands <= 0:
+            raise ChannelError("n_commands must be positive")
+        trace = CommandDelayTrace()
+        for index in range(int(n_commands)):
+            trace.samples.append(self.sample_command(index))
+        return trace
+
+    def jammed_mask(self, n_commands: int) -> np.ndarray:
+        """Simulate the state chain only, returning a boolean jammed mask.
+
+        Useful for experiments that need to know *when* the jammer was active
+        (e.g. to annotate the Fig. 10 reproduction) without drawing delays.
+        """
+        mask = np.zeros(int(n_commands), dtype=bool)
+        for index in range(int(n_commands)):
+            self._step_state()
+            mask[index] = self.state == self.JAMMED
+        return mask

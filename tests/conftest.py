@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+The expensive artefacts (operator command streams, a trained VAR recovery
+engine) are built once per session and reused by many tests, keeping the full
+suite fast while still exercising realistic data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ForecoConfig, ForecoRecovery
+from repro.teleop import (
+    OperatorModel,
+    RemoteController,
+    experienced_operator,
+    inexperienced_operator,
+)
+
+
+@pytest.fixture(scope="session")
+def experienced_stream():
+    """Small experienced-operator command stream (training data)."""
+    controller = RemoteController()
+    operator = OperatorModel(profile=experienced_operator(), seed=11)
+    return controller.stream_from_operator(operator, n_repetitions=4)
+
+
+@pytest.fixture(scope="session")
+def inexperienced_stream():
+    """Small inexperienced-operator command stream (test data)."""
+    controller = RemoteController()
+    operator = OperatorModel(profile=inexperienced_operator(), seed=12)
+    return controller.stream_from_operator(operator, n_repetitions=2)
+
+
+@pytest.fixture(scope="session")
+def trained_recovery(experienced_stream):
+    """A FoReCo recovery engine trained on the experienced stream."""
+    recovery = ForecoRecovery(ForecoConfig())
+    recovery.train(experienced_stream.commands)
+    return recovery
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(1234)

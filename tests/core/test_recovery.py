@@ -1,0 +1,135 @@
+"""Tests for the FoReCo runtime recovery engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ForecoConfig, ForecoRecovery
+from repro.errors import ConfigurationError, DimensionError
+from repro.forecasting import MovingAverageForecaster, VarForecaster
+
+
+def _ramp(n: int = 200, d: int = 6, step: float = 0.005) -> np.ndarray:
+    return np.cumsum(np.full((n, d), step), axis=0)
+
+
+def test_recovery_requires_matching_record():
+    with pytest.raises(ConfigurationError):
+        ForecoRecovery(ForecoConfig(record=5), forecaster=VarForecaster(record=7))
+
+
+def test_recovery_reset_required_before_processing(trained_recovery):
+    recovery = ForecoRecovery(ForecoConfig())
+    recovery.forecaster = trained_recovery.forecaster
+    with pytest.raises(ConfigurationError):
+        recovery.process_slot(np.zeros(6), 1.0)
+
+
+def test_is_on_time_uses_deadline():
+    recovery = ForecoRecovery(ForecoConfig(command_period_ms=20.0, tolerance_ms=5.0))
+    assert recovery.is_on_time(24.9)
+    assert not recovery.is_on_time(25.1)
+    assert not recovery.is_on_time(float("inf"))
+
+
+def test_on_time_commands_pass_through(trained_recovery):
+    commands = _ramp(50)
+    delays = np.full(50, 1.0)
+    executed = trained_recovery.process_stream(commands, delays)
+    assert np.allclose(executed, commands)
+    assert trained_recovery.stats.n_missing == 0
+
+
+def test_missing_commands_are_forecast(trained_recovery):
+    commands = _ramp(100)
+    delays = np.full(100, 1.0)
+    delays[50:55] = np.inf
+    executed = trained_recovery.process_stream(commands, delays)
+    stats = trained_recovery.stats
+    assert stats.n_missing == 5
+    assert stats.n_forecasted == 5
+    assert stats.recovery_fraction == pytest.approx(1.0)
+    # The forecasts differ from the hold-last baseline: they keep moving.
+    assert not np.allclose(executed[54], executed[49])
+
+
+def test_forecast_better_than_hold_on_ramp():
+    """On a steadily moving trajectory the forecast beats repeating the last command."""
+    recovery = ForecoRecovery(ForecoConfig(record=5))
+    recovery.train(_ramp(600, step=0.01))
+    commands = _ramp(120, step=0.01)
+    delays = np.full(120, 1.0)
+    delays[60:70] = np.inf
+    executed = recovery.process_stream(commands, delays)
+    forecast_error = np.abs(executed[60:70] - commands[60:70]).mean()
+    hold_error = np.abs(commands[59] - commands[60:70]).mean()
+    assert forecast_error < hold_error
+
+
+def test_untrained_recovery_falls_back_to_hold():
+    recovery = ForecoRecovery(ForecoConfig(record=3))
+    commands = _ramp(30)
+    delays = np.full(30, 1.0)
+    delays[10:12] = np.inf
+    executed = recovery.process_stream(commands, delays)
+    assert np.allclose(executed[10], commands[9])
+    assert recovery.stats.n_forecasted == 0
+
+
+def test_forecast_clamped_to_moving_offset(experienced_stream):
+    config = ForecoConfig(record=5, max_step_rad=0.04)
+    recovery = ForecoRecovery(config)
+    recovery.train(experienced_stream.commands)
+    commands = experienced_stream.commands[:200]
+    delays = np.full(200, 1.0)
+    delays[100:140] = np.inf
+    executed = recovery.process_stream(commands, delays)
+    deltas = np.abs(np.diff(executed[99:140], axis=0))
+    assert np.all(deltas <= config.max_step_rad + 1e-9)
+
+
+def test_oracle_feedback_reduces_drift(experienced_stream, inexperienced_stream):
+    """Feeding the true (late) commands back is at least as good as forecast feedback."""
+    commands = inexperienced_stream.commands[:800]
+    delays = np.full(800, 1.0)
+    delays[200:260] = np.inf
+    delays[500:560] = np.inf
+
+    results = {}
+    for feedback in ("forecast", "oracle"):
+        recovery = ForecoRecovery(ForecoConfig(record=10, feedback=feedback))
+        recovery.train(experienced_stream.commands)
+        executed = recovery.process_stream(commands, delays)
+        results[feedback] = float(np.abs(executed - commands).mean())
+    assert results["oracle"] <= results["forecast"] + 1e-9
+
+
+def test_process_stream_validates_shapes(trained_recovery):
+    with pytest.raises(DimensionError):
+        trained_recovery.process_stream(np.zeros((10, 6)), np.zeros(8))
+
+
+def test_process_slot_validates_joint_count(trained_recovery):
+    trained_recovery.reset(6)
+    with pytest.raises(DimensionError):
+        trained_recovery.process_slot(np.zeros(4), 1.0)
+
+
+def test_stats_fractions():
+    recovery = ForecoRecovery(ForecoConfig(record=2, algorithm="ma"))
+    recovery.train(_ramp(50))
+    commands = _ramp(40)
+    delays = np.full(40, 1.0)
+    delays[10:20] = np.inf
+    recovery.process_stream(commands, delays)
+    assert recovery.stats.missing_fraction == pytest.approx(0.25)
+    assert 0.0 <= recovery.stats.recovery_fraction <= 1.0
+
+
+def test_ma_forecaster_can_be_plugged_in(experienced_stream):
+    recovery = ForecoRecovery(
+        ForecoConfig(record=5, algorithm="ma"), forecaster=MovingAverageForecaster(record=5)
+    )
+    recovery.train(experienced_stream.commands[:1000])
+    assert recovery.is_ready

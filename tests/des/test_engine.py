@@ -1,0 +1,109 @@
+"""Tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.engine import Event, EventScheduler, Simulator
+from repro.errors import SimulationError
+
+
+def test_scheduler_orders_by_time():
+    scheduler = EventScheduler()
+    scheduler.push(5.0, Event("late"))
+    scheduler.push(1.0, Event("early"))
+    scheduler.push(3.0, Event("middle"))
+    names = [scheduler.pop()[1].name for _ in range(3)]
+    assert names == ["early", "middle", "late"]
+
+
+def test_scheduler_breaks_ties_by_insertion_order():
+    scheduler = EventScheduler()
+    scheduler.push(1.0, Event("first"))
+    scheduler.push(1.0, Event("second"))
+    assert scheduler.pop()[1].name == "first"
+    assert scheduler.pop()[1].name == "second"
+
+
+def test_scheduler_rejects_negative_time():
+    scheduler = EventScheduler()
+    with pytest.raises(SimulationError):
+        scheduler.push(-1.0, Event("bad"))
+
+
+def test_scheduler_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        EventScheduler().pop()
+
+
+def test_simulator_advances_clock_and_counts_events():
+    simulator = Simulator()
+    seen = []
+    simulator.schedule(2.0, Event("a", callback=lambda sim, ev: seen.append(sim.now)))
+    simulator.schedule(1.0, Event("b", callback=lambda sim, ev: seen.append(sim.now)))
+    end = simulator.run()
+    assert seen == [1.0, 2.0]
+    assert end == 2.0
+    assert simulator.events_processed == 2
+
+
+def test_simulator_callbacks_can_schedule_more_events():
+    simulator = Simulator()
+    fired = []
+
+    def chain(sim, event):
+        fired.append(sim.now)
+        if len(fired) < 3:
+            sim.schedule(1.0, Event("chain", callback=chain))
+
+    simulator.schedule(1.0, Event("chain", callback=chain))
+    simulator.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_simulator_until_bound():
+    simulator = Simulator()
+    fired = []
+    for delay in (1.0, 2.0, 10.0):
+        simulator.schedule(delay, Event("e", callback=lambda sim, ev: fired.append(sim.now)))
+    simulator.run(until=5.0)
+    assert fired == [1.0, 2.0]
+    assert simulator.now == 5.0
+    assert len(simulator.scheduler) == 1
+
+
+def test_simulator_max_events_bound():
+    simulator = Simulator()
+    for delay in (1.0, 2.0, 3.0):
+        simulator.schedule(delay, Event("e", callback=lambda sim, ev: None))
+    simulator.run(max_events=2)
+    assert simulator.events_processed == 2
+
+
+def test_simulator_stop_from_callback():
+    simulator = Simulator()
+    simulator.schedule(1.0, Event("stop", callback=lambda sim, ev: sim.stop()))
+    simulator.schedule(2.0, Event("never", callback=lambda sim, ev: pytest.fail("should not fire")))
+    simulator.run()
+    assert simulator.now == 1.0
+
+
+def test_cancelled_events_are_skipped():
+    simulator = Simulator()
+    fired = []
+    event = Event("cancelled", callback=lambda sim, ev: fired.append("cancelled"))
+    simulator.schedule(1.0, event)
+    event.cancel()
+    simulator.schedule(2.0, Event("kept", callback=lambda sim, ev: fired.append("kept")))
+    simulator.run()
+    assert fired == ["kept"]
+
+
+def test_schedule_in_past_rejected():
+    simulator = Simulator()
+    simulator.schedule(1.0, Event("a", callback=lambda sim, ev: None))
+    simulator.run()
+    with pytest.raises(SimulationError):
+        simulator.schedule_at(0.5, Event("past"))
+    with pytest.raises(SimulationError):
+        simulator.schedule(-1.0, Event("negative"))

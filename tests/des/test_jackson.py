@@ -1,0 +1,107 @@
+"""Tests for the Jackson transport-network model (paper Assumption 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.jackson import JacksonNetwork, JacksonStation, TransportNetworkModel
+from repro.errors import ConfigurationError
+
+
+def _two_hop(rate_in: float = 0.05, mu: float = 1.0) -> JacksonNetwork:
+    return JacksonNetwork(
+        [
+            JacksonStation("switch", service_rate=mu, external_arrival_rate=rate_in),
+            JacksonStation("router", service_rate=mu),
+        ]
+    )
+
+
+def test_traffic_equations_feed_forward_chain():
+    network = _two_hop(rate_in=0.2)
+    assert network.arrival_rates == pytest.approx([0.2, 0.2])
+
+
+def test_utilisation_and_stability():
+    network = _two_hop(rate_in=0.5, mu=1.0)
+    assert network.utilisations() == pytest.approx([0.5, 0.5])
+    assert network.is_stable()
+
+
+def test_unstable_network_detected():
+    network = _two_hop(rate_in=1.5, mu=1.0)
+    assert not network.is_stable()
+    with pytest.raises(ConfigurationError):
+        network.mean_queue_lengths()
+    with pytest.raises(ConfigurationError):
+        network.mean_station_delays()
+
+
+def test_mm1_product_form_metrics():
+    network = _two_hop(rate_in=0.5, mu=1.0)
+    # Each M/M/1 with rho = 0.5: L = 1, W = 1/(mu - lambda) = 2.
+    assert network.mean_queue_lengths() == pytest.approx([1.0, 1.0])
+    assert network.mean_station_delays() == pytest.approx([2.0, 2.0])
+    assert network.mean_path_delay() == pytest.approx(4.0)
+
+
+def test_routing_matrix_validation():
+    stations = [JacksonStation("a", 1.0, 0.1), JacksonStation("b", 1.0)]
+    with pytest.raises(ConfigurationError):
+        JacksonNetwork(stations, routing=np.array([[0.0, 1.2], [0.0, 0.0]]))
+    with pytest.raises(ConfigurationError):
+        JacksonNetwork(stations, routing=np.zeros((3, 3)))
+    with pytest.raises(ConfigurationError):
+        JacksonNetwork([])
+
+
+def test_station_validation():
+    with pytest.raises(ConfigurationError):
+        JacksonStation("bad", service_rate=0.0)
+    with pytest.raises(ConfigurationError):
+        JacksonStation("bad", service_rate=1.0, external_arrival_rate=-0.1)
+
+
+def test_transport_model_respects_bound():
+    model = TransportNetworkModel(bound_ms=3.0, seed=0)
+    delays = model.sample_delays(5000)
+    assert np.all(delays <= 3.0 + 1e-12)
+    assert np.all(delays >= 0.0)
+    assert model.bound == 3.0
+
+
+def test_transport_model_default_bound_exceeds_mean():
+    model = TransportNetworkModel(seed=0)
+    assert model.bound > model.network.mean_path_delay()
+
+
+def test_transport_model_rejects_unstable_network():
+    unstable = _two_hop(rate_in=2.0, mu=1.0)
+    with pytest.raises(ConfigurationError):
+        TransportNetworkModel(network=unstable)
+
+
+def test_transport_model_single_sample_matches_vector_path():
+    model = TransportNetworkModel(bound_ms=5.0, seed=1)
+    singles = np.array([model.sample_delay() for _ in range(500)])
+    assert np.all(singles <= 5.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(rate=st.floats(0.01, 0.9), mu=st.floats(1.0, 5.0))
+def test_assumption1_bound_holds_for_any_stable_chain(rate, mu):
+    """Property (Assumption 1): sampled transport delays never exceed D."""
+    if rate >= mu:
+        rate = 0.5 * mu
+    network = JacksonNetwork(
+        [
+            JacksonStation("s1", service_rate=mu, external_arrival_rate=rate),
+            JacksonStation("s2", service_rate=mu),
+        ]
+    )
+    model = TransportNetworkModel(network=network, seed=3)
+    delays = model.sample_delays(200)
+    assert np.all(delays <= model.bound + 1e-12)

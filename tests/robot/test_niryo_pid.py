@@ -1,0 +1,136 @@
+"""Tests for the Niryo arm description and the PID joint controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError, RobotError
+from repro.robot.niryo import NiryoOneArm, NiryoOneLimits
+from repro.robot.pid import JointPidController, PidGains
+
+
+# ----------------------------------------------------------------- Niryo arm
+def test_arm_has_six_joints():
+    arm = NiryoOneArm()
+    assert arm.n_joints == 6
+    assert arm.kinematics.n_joints == 6
+
+
+def test_home_pose_within_limits_and_reach():
+    arm = NiryoOneArm()
+    home = arm.home_pose()
+    assert np.allclose(arm.clamp(home), home)
+    distance = arm.distance_from_origin_mm(home)
+    assert 100.0 < distance < 1000.0
+
+
+def test_clamp_respects_limits():
+    arm = NiryoOneArm()
+    wild = np.array([10.0, -10.0, 10.0, -10.0, 10.0, -10.0])
+    clamped = arm.clamp(wild)
+    assert np.all(clamped <= arm.limits.position_max + 1e-12)
+    assert np.all(clamped >= arm.limits.position_min - 1e-12)
+
+
+def test_limits_max_step():
+    limits = NiryoOneLimits()
+    step = limits.max_step(0.02)
+    assert step.shape == (6,)
+    assert np.all(step > 0.0)
+
+
+def test_distance_from_origin_mm_shapes():
+    arm = NiryoOneArm()
+    with pytest.raises(DimensionError):
+        arm.end_effector_mm(np.zeros(5))
+    with pytest.raises(DimensionError):
+        arm.trajectory_distance_mm(np.zeros((3, 5)))
+    series = arm.trajectory_distance_mm(np.tile(arm.home_pose(), (4, 1)))
+    assert series.shape == (4,)
+    assert np.allclose(series, series[0])
+
+
+def test_workspace_range_matches_paper_scale(inexperienced_stream):
+    """The pick-and-place sweep stays in the few-hundred-millimetre range of Fig. 6."""
+    arm = NiryoOneArm()
+    distances = arm.trajectory_distance_mm(inexperienced_stream.commands)
+    assert distances.min() > 150.0
+    assert distances.max() < 700.0
+    assert distances.max() - distances.min() > 100.0
+
+
+# ----------------------------------------------------------------------- PID
+def test_pid_gains_validation():
+    with pytest.raises(RobotError):
+        PidGains(kp=-1.0)
+    with pytest.raises(RobotError):
+        PidGains(integral_limit=0.0)
+
+
+def test_pid_constructor_validation():
+    with pytest.raises(RobotError):
+        JointPidController(0)
+    with pytest.raises(RobotError):
+        JointPidController(2, dt_s=0.0)
+    with pytest.raises(DimensionError):
+        JointPidController(2, velocity_limits=np.ones(3))
+
+
+def test_pid_converges_to_constant_target():
+    controller = JointPidController(3, dt_s=0.02)
+    controller.reset(np.zeros(3))
+    target = np.array([0.3, -0.2, 0.1])
+    for _ in range(200):
+        position = controller.step(target)
+    assert np.allclose(position, target, atol=0.01)
+
+
+def test_pid_settling_time_in_paper_range():
+    """The step-response settling time is a few hundred milliseconds (Fig. 10)."""
+    controller = JointPidController(1, dt_s=0.02)
+    steps = controller.settling_steps(step_size=0.1)
+    assert 5 <= steps <= 40  # 100 ms .. 800 ms
+
+
+def test_pid_velocity_limits_respected():
+    limits = np.array([0.5])
+    controller = JointPidController(1, dt_s=0.02, velocity_limits=limits)
+    controller.reset(np.zeros(1))
+    controller.step(np.array([10.0]))
+    assert abs(controller.velocity[0]) <= 0.5 + 1e-12
+
+
+def test_pid_track_full_trajectory_shape():
+    controller = JointPidController(2, dt_s=0.02)
+    controller.reset(np.zeros(2))
+    targets = np.cumsum(np.full((50, 2), 0.01), axis=0)
+    executed = controller.track(targets)
+    assert executed.shape == targets.shape
+    # Tracking a slow ramp: the final error stays small.
+    assert np.linalg.norm(executed[-1] - targets[-1]) < 0.05
+
+
+def test_pid_track_rejects_bad_shapes():
+    controller = JointPidController(2)
+    with pytest.raises(DimensionError):
+        controller.track(np.zeros((5, 3)))
+    with pytest.raises(DimensionError):
+        controller.step(np.zeros(3))
+    with pytest.raises(DimensionError):
+        controller.reset(np.zeros(3))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(0.02, 0.5))
+def test_pid_step_response_is_bounded(step_size):
+    """Property: the PID never overshoots a step by more than 100 %."""
+    controller = JointPidController(1, dt_s=0.02)
+    controller.reset(np.zeros(1))
+    peak = 0.0
+    for _ in range(300):
+        position = controller.step(np.array([step_size]))
+        peak = max(peak, abs(position[0]))
+    assert peak <= 2.0 * step_size + 1e-9

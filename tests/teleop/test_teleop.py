@@ -1,0 +1,153 @@
+"""Tests for the teleoperation substrate: task, operators, remote controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, DimensionError
+from repro.robot.niryo import NiryoOneArm
+from repro.teleop import (
+    OperatorModel,
+    RemoteController,
+    experienced_operator,
+    inexperienced_operator,
+)
+from repro.teleop.operator import OperatorProfile, _minimum_jerk, _trapezoidal
+from repro.teleop.pick_place import PickPlaceTask, Waypoint, default_pick_place_task
+
+
+# ----------------------------------------------------------------------- task
+def test_default_task_structure():
+    task = default_pick_place_task()
+    assert task.n_joints == 6
+    assert len(task.waypoints) >= 5
+    assert task.cycle_duration_s() > 5.0
+
+
+def test_task_cartesian_extent_in_paper_range():
+    task = default_pick_place_task()
+    low, high = task.cartesian_extent_mm()
+    assert low < high
+    assert 150.0 < low < 450.0
+    assert 400.0 < high < 700.0
+
+
+def test_task_validation():
+    with pytest.raises(ConfigurationError):
+        PickPlaceTask(waypoints=[])
+    with pytest.raises(ConfigurationError):
+        Waypoint(np.zeros(6), move_duration_s=0.0)
+    with pytest.raises(ConfigurationError):
+        PickPlaceTask(
+            waypoints=[
+                Waypoint(np.zeros(6), move_duration_s=1.0),
+                Waypoint(np.zeros(5), move_duration_s=1.0),
+            ]
+        )
+
+
+# ------------------------------------------------------------------ profiles
+def test_motion_profiles_start_and_end_at_bounds():
+    fractions = np.linspace(0.0, 1.0, 101)
+    for profile in (_minimum_jerk, _trapezoidal):
+        values = profile(fractions)
+        assert values[0] == pytest.approx(0.0, abs=1e-9)
+        assert values[-1] == pytest.approx(1.0, abs=1e-9)
+        assert np.all(np.diff(values) >= -1e-12)  # monotone non-decreasing
+
+
+def test_operator_profile_validation():
+    with pytest.raises(ConfigurationError):
+        OperatorProfile(name="bad", jitter_smoothing=1.5)
+    with pytest.raises(ConfigurationError):
+        OperatorProfile(name="bad", jitter_rad=-1.0)
+    with pytest.raises(ConfigurationError):
+        OperatorProfile(name="bad", pause_probability=2.0)
+
+
+def test_builtin_profiles_differ():
+    experienced = experienced_operator()
+    inexperienced = inexperienced_operator()
+    assert inexperienced.jitter_rad > experienced.jitter_rad
+    assert inexperienced.speed_variability > experienced.speed_variability
+
+
+# ------------------------------------------------------------------ operator
+def test_operator_generates_expected_command_rate():
+    operator = OperatorModel(profile=experienced_operator(), seed=0)
+    commands = operator.generate_cycle()
+    expected = operator.task.cycle_duration_s() / 0.02
+    assert commands.shape[1] == 6
+    assert 0.5 * expected <= commands.shape[0] <= 2.0 * expected
+
+
+def test_operator_dataset_repetitions_concatenate():
+    operator = OperatorModel(profile=experienced_operator(), seed=0)
+    single = operator.generate_dataset(1)
+    operator = OperatorModel(profile=experienced_operator(), seed=0)
+    double = operator.generate_dataset(2)
+    assert double.shape[0] > single.shape[0]
+
+
+def test_operator_reproducible_with_seed():
+    a = OperatorModel(profile=inexperienced_operator(), seed=5).generate_dataset(2)
+    b = OperatorModel(profile=inexperienced_operator(), seed=5).generate_dataset(2)
+    assert np.array_equal(a, b)
+
+
+def test_operator_timed_dataset_grid():
+    times, commands = OperatorModel(seed=1).generate_timed_dataset(1)
+    assert times.shape[0] == commands.shape[0]
+    assert np.allclose(np.diff(times), 0.02)
+
+
+def test_operator_rejects_unknown_motion_profile():
+    with pytest.raises(ConfigurationError):
+        OperatorModel(motion_profile="teleport")
+
+
+# --------------------------------------------------------------- controller
+def test_controller_quantises_step_size():
+    controller = RemoteController()
+    arm = NiryoOneArm()
+    raw = np.vstack([arm.home_pose(), arm.home_pose() + 1.0])  # a huge jump
+    stream = controller.quantise(raw)
+    delta = np.abs(np.diff(stream.commands, axis=0))
+    assert np.all(delta <= controller.moving_offset_rad + 1e-12)
+
+
+def test_controller_output_within_limits(experienced_stream):
+    arm = NiryoOneArm()
+    commands = experienced_stream.commands
+    assert np.all(commands <= arm.limits.position_max + 1e-9)
+    assert np.all(commands >= arm.limits.position_min - 1e-9)
+
+
+def test_stream_properties(experienced_stream):
+    assert experienced_stream.n_joints == 6
+    assert experienced_stream.period_ms == 20.0
+    assert experienced_stream.duration_s == pytest.approx(len(experienced_stream) * 0.02)
+    times = experienced_stream.generation_times_s()
+    assert np.allclose(np.diff(times), 0.02)
+    head = experienced_stream.head_seconds(1.0)
+    assert len(head) == 50
+
+
+def test_controller_rejects_wrong_joint_count():
+    controller = RemoteController()
+    with pytest.raises(DimensionError):
+        controller.quantise(np.zeros((10, 4)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_command_stream_respects_moving_offset(seed):
+    """Property: any generated stream moves each joint at most 0.04 rad/step."""
+    controller = RemoteController()
+    operator = OperatorModel(profile=inexperienced_operator(), seed=seed)
+    stream = controller.quantise(operator.generate_cycle())
+    deltas = np.abs(np.diff(stream.commands, axis=0))
+    assert np.all(deltas <= controller.moving_offset_rad + 1e-12)

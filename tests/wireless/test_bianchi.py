@@ -1,0 +1,96 @@
+"""Tests for the Bianchi DCF model with interference."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.wireless.bianchi import DcfModel, DcfParameters, InterferenceSource
+
+
+def test_interference_source_occupancy():
+    quiet = InterferenceSource()
+    assert quiet.occupancy == 0.0
+    assert not quiet.is_active
+    active = InterferenceSource(probability=0.05, duration_slots=100)
+    assert active.is_active
+    assert active.occupancy == pytest.approx(5.0 / 6.0)
+
+
+def test_interference_source_validation():
+    with pytest.raises(ConfigurationError):
+        InterferenceSource(probability=1.5, duration_slots=10)
+    with pytest.raises(ConfigurationError):
+        InterferenceSource(probability=0.1, duration_slots=-1)
+
+
+def test_dcf_parameters_validation():
+    with pytest.raises(ConfigurationError):
+        DcfParameters(n_stations=0)
+    with pytest.raises(ConfigurationError):
+        DcfParameters(cw_min=1)
+    with pytest.raises(ConfigurationError):
+        DcfParameters(slot_time_us=-1.0)
+
+
+def test_contention_window_doubles_then_caps():
+    params = DcfParameters(cw_min=16, max_backoff_stage=3)
+    assert params.contention_window(0) == 16
+    assert params.contention_window(1) == 32
+    assert params.contention_window(3) == 128
+    assert params.contention_window(10) == 128  # capped at the max stage
+
+
+def test_transmission_longer_than_collision_time():
+    params = DcfParameters()
+    assert params.transmission_time_us() > params.collision_time_us() > 0.0
+
+
+def test_single_station_has_low_failure_probability():
+    solution = DcfModel(DcfParameters(n_stations=1)).solve()
+    assert solution.failure_probability == pytest.approx(0.0, abs=1e-6)
+    assert 0.0 < solution.tau <= 1.0
+
+
+def test_failure_probability_increases_with_stations():
+    previous = 0.0
+    for n in (2, 5, 15, 25):
+        solution = DcfModel(DcfParameters(n_stations=n)).solve()
+        assert solution.failure_probability > previous
+        previous = solution.failure_probability
+
+
+def test_interference_increases_failure_probability():
+    clean = DcfModel(DcfParameters(n_stations=5)).solve()
+    jammed = DcfModel(
+        DcfParameters(n_stations=5, interference=InterferenceSource(0.05, 100))
+    ).solve()
+    assert jammed.failure_probability > clean.failure_probability
+    assert jammed.interference_occupancy > 0.0
+
+
+def test_mean_slot_time_positive_and_grows_with_interference():
+    clean = DcfModel(DcfParameters(n_stations=5)).solve()
+    jammed = DcfModel(
+        DcfParameters(n_stations=5, interference=InterferenceSource(0.05, 100))
+    ).solve()
+    assert clean.mean_slot_time_us > 0.0
+    assert jammed.mean_slot_time_us > clean.mean_slot_time_us
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    prob=st.floats(0.0, 0.2),
+    duration=st.integers(0, 200),
+)
+def test_fixed_point_solution_always_valid(n, prob, duration):
+    """Property: the fixed point exists and yields probabilities in [0, 1]."""
+    params = DcfParameters(n_stations=n, interference=InterferenceSource(prob, duration))
+    solution = DcfModel(params).solve()
+    assert 0.0 <= solution.failure_probability <= 1.0
+    assert 0.0 < solution.tau <= 1.0
+    assert solution.mean_slot_time_us > 0.0
+    assert 0.0 <= solution.success_probability <= 1.0

@@ -1,0 +1,109 @@
+"""Tests for the wireless channel trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.des.jackson import TransportNetworkModel
+from repro.errors import ChannelError
+from repro.wireless import InterferenceSource, WirelessChannel
+from repro.wireless.channel import ChannelSample, CommandDelayTrace
+
+
+def test_trace_container_metrics():
+    trace = CommandDelayTrace(
+        samples=[
+            ChannelSample(0, 1.0, False),
+            ChannelSample(1, 30.0, False),
+            ChannelSample(2, float("inf"), True),
+        ]
+    )
+    assert len(trace) == 3
+    assert trace.loss_rate() == pytest.approx(1 / 3)
+    assert trace.late_rate(20.0) == pytest.approx(2 / 3)
+    assert trace.mean_delivered_delay() == pytest.approx(15.5)
+    assert trace.longest_outage(20.0) == 2
+
+
+def test_clean_channel_mostly_on_time():
+    channel = WirelessChannel(n_robots=5, seed=0)
+    trace = channel.sample_trace(500)
+    assert trace.late_rate(20.0) < 0.05
+    assert trace.loss_rate() < 0.02
+    assert trace.mean_delivered_delay() < 5.0
+
+
+def test_interference_increases_late_and_outages():
+    clean = WirelessChannel(n_robots=5, seed=1).sample_trace(800)
+    jammed = WirelessChannel(
+        n_robots=5, interference=InterferenceSource(0.05, 100), seed=1
+    ).sample_trace(800)
+    assert jammed.late_rate(20.0) > clean.late_rate(20.0)
+    assert jammed.longest_outage(20.0) > clean.longest_outage(20.0)
+
+
+def test_late_rate_grows_with_interference_probability():
+    rates = []
+    for probability in (0.01, 0.025, 0.05):
+        channel = WirelessChannel(
+            n_robots=5, interference=InterferenceSource(probability, 50), seed=3
+        )
+        rates.append(channel.sample_trace(1500).late_rate(20.0))
+    assert rates[0] < rates[1] < rates[2]
+
+
+def test_late_rate_grows_with_robots_under_interference():
+    rates = []
+    for robots in (5, 25):
+        channel = WirelessChannel(
+            n_robots=robots, interference=InterferenceSource(0.025, 50), seed=4
+        )
+        rates.append(channel.sample_trace(1500).late_rate(20.0))
+    assert rates[0] <= rates[1] + 0.02  # more robots never makes the channel better
+
+
+def test_duty_cycle_and_burst_duration():
+    channel = WirelessChannel(n_robots=5, interference=InterferenceSource(0.05, 100))
+    assert channel.burst_duration_ms() == pytest.approx(150.0)
+    assert 0.0 < channel.interference_duty_cycle() < 1.0
+    quiet = WirelessChannel(n_robots=5)
+    assert quiet.interference_duty_cycle() == 0.0
+    assert quiet.mean_gap_ms() == float("inf")
+
+
+def test_transport_delay_added():
+    transport = TransportNetworkModel(bound_ms=2.0, seed=0)
+    with_transport = WirelessChannel(n_robots=5, transport=transport, seed=5).sample_trace(300)
+    without = WirelessChannel(n_robots=5, transport=None, seed=5).sample_trace(300)
+    assert with_transport.mean_delivered_delay() > without.mean_delivered_delay()
+
+
+def test_direct_sampling_path():
+    channel = WirelessChannel(n_robots=15, seed=6)
+    trace = channel.sample_trace(400, use_queue=False)
+    delays = trace.delays()
+    delivered = delays[np.isfinite(delays)]
+    assert delivered.size > 0
+    assert np.all(delivered >= 0.0)
+
+
+def test_expected_late_probability_monotone_in_interference():
+    mild = WirelessChannel(n_robots=5, interference=InterferenceSource(0.01, 10))
+    heavy = WirelessChannel(n_robots=5, interference=InterferenceSource(0.05, 100))
+    assert heavy.expected_late_probability(20.0) > mild.expected_late_probability(20.0)
+
+
+def test_invalid_parameters_rejected():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        WirelessChannel(command_period_ms=0.0)
+    with pytest.raises(ReproError):
+        WirelessChannel(n_robots=0)
+
+
+def test_trace_reproducible_with_seed():
+    a = WirelessChannel(n_robots=5, interference=InterferenceSource(0.025, 50), seed=42)
+    b = WirelessChannel(n_robots=5, interference=InterferenceSource(0.025, 50), seed=42)
+    assert np.array_equal(a.sample_trace(300).delays(), b.sample_trace(300).delays())

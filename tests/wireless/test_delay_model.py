@@ -1,0 +1,100 @@
+"""Tests for the 802.11 delay model and the paper's Appendix results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wireless.bianchi import DcfParameters, InterferenceSource
+from repro.wireless.delay_model import (
+    Ieee80211DelayModel,
+    causality_violation_probability,
+    expected_delay_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_model():
+    return Ieee80211DelayModel(DcfParameters(n_stations=5))
+
+
+@pytest.fixture(scope="module")
+def jammed_model():
+    return Ieee80211DelayModel(
+        DcfParameters(n_stations=25, interference=InterferenceSource(0.05, 100))
+    )
+
+
+def test_retransmission_probabilities_sum_to_one(clean_model):
+    retx = clean_model.retransmission_distribution
+    total = retx.probabilities.sum() + retx.loss_probability
+    assert total == pytest.approx(1.0)
+    assert retx.max_retransmissions == clean_model.params.retry_limit
+
+
+def test_conditional_probabilities_normalised(clean_model):
+    cond = clean_model.retransmission_distribution.conditional_probabilities()
+    assert cond.sum() == pytest.approx(1.0)
+    assert np.all(cond >= 0.0)
+
+
+def test_delays_increase_with_retransmissions(clean_model):
+    delays = clean_model.per_retransmission_delays_ms
+    assert np.all(np.diff(delays) > 0.0)
+    assert delays[0] > 0.0
+
+
+def test_mean_delay_within_delay_range(clean_model):
+    delays = clean_model.per_retransmission_delays_ms
+    mean = clean_model.mean_delay_ms()
+    assert delays[0] <= mean <= delays[-1]
+
+
+def test_service_distribution_matches_mean(clean_model):
+    service = clean_model.service_distribution()
+    assert service.mean() == pytest.approx(clean_model.mean_delay_ms(), rel=1e-9)
+    assert service.n_phases == clean_model.params.retry_limit + 1
+
+
+def test_interference_raises_loss_and_delay(clean_model, jammed_model):
+    assert jammed_model.loss_probability > clean_model.loss_probability
+    assert jammed_model.mean_delay_ms() > clean_model.mean_delay_ms()
+
+
+def test_lemma1_bound_exceeds_mean_delay(jammed_model):
+    """Lemma 1: the conditional average delay bound is >= the mean delay of
+    delivered commands and grows with the transport bound D."""
+    bound_zero = expected_delay_bound(jammed_model, transport_bound_ms=0.0)
+    bound_five = expected_delay_bound(jammed_model, transport_bound_ms=5.0)
+    assert bound_zero >= jammed_model.mean_delay_ms() - 1e-9
+    assert bound_five == pytest.approx(bound_zero + 5.0)
+
+
+def test_corollary1_divergence_probability_positive_under_interference(jammed_model, clean_model):
+    """Corollary 1: with interference the delay diverges with probability a_{m+2} > 0."""
+    assert jammed_model.divergence_probability() > 0.0
+    assert jammed_model.divergence_probability() > clean_model.divergence_probability()
+
+
+def test_lemma2_causality_violation(jammed_model):
+    """Lemma 2 / Corollary 2: the causality assumption holds only with
+    probability sum_j a_j^2 < 1, i.e. it is violated with positive probability."""
+    holds = jammed_model.causality_holds_probability()
+    assert 0.0 < holds < 1.0
+    assert causality_violation_probability(jammed_model) == pytest.approx(1.0 - holds)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 30), prob=st.floats(0.0, 0.1), duration=st.integers(0, 150))
+def test_delay_model_invariants(n, prob, duration):
+    """Property: probabilities normalised, delays positive, bound finite."""
+    model = Ieee80211DelayModel(
+        DcfParameters(n_stations=n, interference=InterferenceSource(prob, duration))
+    )
+    retx = model.retransmission_distribution
+    assert retx.probabilities.sum() + retx.loss_probability == pytest.approx(1.0, abs=1e-9)
+    assert np.all(model.per_retransmission_delays_ms > 0.0)
+    assert np.isfinite(model.expected_delay_bound_ms())
+    assert 0.0 <= model.causality_holds_probability() <= 1.0
