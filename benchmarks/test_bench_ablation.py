@@ -9,47 +9,56 @@ headline results depend on:
 * the ridge shrinkage that stabilises iterated forecasting,
 * the robot driver's fallback policy (hold vs stop),
 * the tolerance τ.
+
+Every ablation is a one-axis scenario grid executed through the shared
+:class:`repro.scenarios.SweepExecutor`, so the benches exercise exactly the
+code path the experiments and the CLI use.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import ForecoConfig, ForecoRecovery, RemoteControlSimulation
-from repro.experiments import build_datasets
-from repro.wireless import ConsecutiveLossInjector, InterferenceSource, WirelessChannel
+from repro.scenarios import (
+    ScenarioSpec,
+    SweepExecutor,
+    SweepResult,
+    get_scale,
+    loss_burst_channel,
+    scenario_grid,
+    wireless_channel,
+)
 
 from conftest import emit
 
+#: The interference channel shared by the delay-sensitive ablations.
+_INTERFERENCE = wireless_channel(n_robots=15, probability=0.05, duration_slots=100)
 
-def _setup(bench_scale, bench_seed, config: ForecoConfig):
-    datasets = build_datasets(bench_scale, seed=bench_seed)
-    recovery = ForecoRecovery(config)
-    recovery.train(datasets.experienced.commands)
-    commands = datasets.inexperienced.head_seconds(40.0).commands
-    return datasets, recovery, commands
+#: The controlled-loss channel shared by the burst-sensitive ablations.
+_BURSTS = loss_burst_channel(burst_length=15, n_bursts=5, min_gap=80)
 
 
-def _interference_delays(n_commands: int, seed: int) -> np.ndarray:
-    channel = WirelessChannel(
-        n_robots=15, interference=InterferenceSource(0.05, 100), seed=seed
+def _base(bench_scale, bench_seed, channel, **fields) -> ScenarioSpec:
+    scale = get_scale(bench_scale)
+    return ScenarioSpec(
+        name="ablation",
+        scale=scale,
+        seed=bench_seed,
+        channel=channel,
+        run_seconds=40.0,
+        **fields,
     )
-    return channel.sample_trace(n_commands).delays()
+
+
+def _sweep(base: ScenarioSpec, axis: str, values) -> SweepResult:
+    return SweepExecutor(jobs=2).run(scenario_grid(base, {axis: tuple(values)}))
 
 
 def test_feedback_ablation(benchmark, bench_scale, bench_seed):
     """Forecast feedback (the paper's prototype) vs oracle feedback."""
 
     def run() -> dict[str, float]:
-        results = {}
-        for feedback in ("forecast", "oracle"):
-            _, recovery, commands = _setup(
-                bench_scale, bench_seed, ForecoConfig(feedback=feedback)
-            )
-            delays = _interference_delays(commands.shape[0], bench_seed)
-            outcome = RemoteControlSimulation(recovery).run(commands, delays)
-            results[feedback] = outcome.rmse_foreco_mm
-        return results
+        base = _base(bench_scale, bench_seed, _INTERFERENCE)
+        sweep = _sweep(base, "foreco.feedback", ("forecast", "oracle"))
+        return {row.spec.foreco.feedback: row.mean_rmse_foreco_mm for row in sweep}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
@@ -63,14 +72,9 @@ def test_var_record_sweep(benchmark, bench_scale, bench_seed):
     """Sensitivity of the recovery error to the VAR record length R."""
 
     def run() -> dict[int, float]:
-        results = {}
-        for record in (2, 5, 10, 20):
-            _, recovery, commands = _setup(bench_scale, bench_seed, ForecoConfig(record=record))
-            injector = ConsecutiveLossInjector(burst_length=15, n_bursts=5, min_gap=80, seed=bench_seed)
-            delays = injector.to_trace(commands.shape[0]).delays()
-            outcome = RemoteControlSimulation(recovery).run(commands, delays)
-            results[record] = outcome.rmse_foreco_mm
-        return results
+        base = _base(bench_scale, bench_seed, _BURSTS)
+        sweep = _sweep(base, "foreco.record", (2, 5, 10, 20))
+        return {row.spec.foreco.record: row.mean_rmse_foreco_mm for row in sweep}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
@@ -84,13 +88,12 @@ def test_ridge_sweep(benchmark, bench_scale, bench_seed):
     """The ridge shrinkage that keeps iterated VAR forecasts stable."""
 
     def run() -> dict[float, float]:
+        base = _base(bench_scale, bench_seed, _INTERFERENCE)
         results = {}
         for ridge in (0.0, 1e-3, 3e-2, 1e-1):
-            config = ForecoConfig(algorithm_options={"ridge": ridge})
-            _, recovery, commands = _setup(bench_scale, bench_seed, config)
-            delays = _interference_delays(commands.shape[0], bench_seed)
-            outcome = RemoteControlSimulation(recovery).run(commands, delays)
-            results[ridge] = outcome.rmse_foreco_mm
+            spec = base.with_foreco(algorithm_options={"ridge": ridge})
+            row = SweepExecutor(jobs=1).run([spec])[0]
+            results[ridge] = row.mean_rmse_foreco_mm
         return results
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -105,14 +108,9 @@ def test_driver_fallback(benchmark, bench_scale, bench_seed):
     """Hold-last-command (Niryo behaviour) vs stop-in-place baseline fallback."""
 
     def run() -> dict[str, float]:
-        results = {}
-        for fallback in ("hold", "stop"):
-            _, recovery, commands = _setup(bench_scale, bench_seed, ForecoConfig())
-            injector = ConsecutiveLossInjector(burst_length=15, n_bursts=5, min_gap=80, seed=bench_seed)
-            delays = injector.to_trace(commands.shape[0]).delays()
-            outcome = RemoteControlSimulation(recovery, fallback=fallback).run(commands, delays)
-            results[fallback] = outcome.rmse_no_forecast_mm
-        return results
+        base = _base(bench_scale, bench_seed, _BURSTS)
+        sweep = _sweep(base, "fallback", ("hold", "stop"))
+        return {row.spec.fallback: row.mean_rmse_no_forecast_mm for row in sweep}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
@@ -126,13 +124,9 @@ def test_tolerance_sweep(benchmark, bench_scale, bench_seed):
     """Sensitivity to the tolerance τ: a larger τ accepts more late commands."""
 
     def run() -> dict[float, float]:
-        results = {}
-        for tolerance in (0.0, 10.0, 40.0):
-            _, recovery, commands = _setup(bench_scale, bench_seed, ForecoConfig(tolerance_ms=tolerance))
-            delays = _interference_delays(commands.shape[0], bench_seed)
-            outcome = RemoteControlSimulation(recovery).run(commands, delays)
-            results[tolerance] = outcome.late_fraction
-        return results
+        base = _base(bench_scale, bench_seed, _INTERFERENCE)
+        sweep = _sweep(base, "foreco.tolerance_ms", (0.0, 10.0, 40.0))
+        return {row.spec.foreco.tolerance_ms: row.mean_late_fraction for row in sweep}
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(

@@ -2,8 +2,9 @@
 """Controlled consecutive-loss recovery: a miniature of the paper's Fig. 9.
 
 Deliberately drops bursts of 5, 10 and 25 consecutive commands from a
-pick-and-place run and shows, around one burst, how the end-effector
-distance-from-origin evolves for:
+pick-and-place run — each burst length is one variation of the
+``bursty-loss`` scenario preset — and shows, around one burst, how the
+end-effector distance-from-origin evolves for:
 
 * the defined trajectory (what the operator commanded),
 * the stock stack (repeats the last command during the burst),
@@ -18,10 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import ForecoConfig, ForecoRecovery, RemoteControlSimulation
+from repro import SessionEngine, get_scenario
 from repro.robot import NiryoOneArm
-from repro.teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
-from repro.wireless import ConsecutiveLossInjector
 
 
 def text_plot(times_s: np.ndarray, series: dict[str, np.ndarray], width: int = 60) -> str:
@@ -41,31 +40,21 @@ def text_plot(times_s: np.ndarray, series: dict[str, np.ndarray], width: int = 6
 
 
 def main() -> None:
-    controller = RemoteController()
-    training = controller.stream_from_operator(
-        OperatorModel(profile=experienced_operator(), seed=1), n_repetitions=8
-    )
-    testing = controller.stream_from_operator(
-        OperatorModel(profile=inexperienced_operator(), seed=2), n_repetitions=2
-    )
-    commands = testing.head_seconds(30.0).commands
-
-    recovery = ForecoRecovery(ForecoConfig())
-    recovery.train(training.commands)
-    simulation = RemoteControlSimulation(recovery)
+    engine = SessionEngine()
     arm = NiryoOneArm()
+    base = get_scenario("bursty-loss", seed=1).with_channel(n_bursts=4, min_gap=80)
 
     for burst in (5, 10, 25):
-        injector = ConsecutiveLossInjector(burst_length=burst, n_bursts=4, min_gap=80, seed=burst)
-        mask = injector.lost_mask(commands.shape[0])
-        delays = np.where(mask, np.inf, 1.0)
-        outcome = simulation.run(commands, delays)
+        result = engine.run(base.with_channel(burst_length=burst))
+        outcome = result.outcome
         print(f"== {burst} consecutive losses ==")
-        print(f"   no-forecast RMSE {outcome.rmse_no_forecast_mm:6.2f} mm")
-        print(f"   FoReCo RMSE      {outcome.rmse_foreco_mm:6.2f} mm "
-              f"(x{outcome.improvement_factor:.1f} better)")
+        print(f"   no-forecast RMSE {result.mean_rmse_no_forecast_mm:6.2f} mm")
+        print(f"   FoReCo RMSE      {result.mean_rmse_foreco_mm:6.2f} mm "
+              f"(x{result.improvement_factor:.1f} better)")
 
         # Zoom on the first burst, plus a little context either side.
+        mask = ~np.isfinite(result.delays_ms)
+        commands = outcome.defined.joints
         start = int(np.argmax(mask))
         window = slice(max(0, start - 10), min(commands.shape[0], start + burst + 15))
         times = np.arange(commands.shape[0])[window] * 0.02

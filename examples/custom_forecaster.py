@@ -5,9 +5,11 @@ The paper notes that "FoReCo is flexible to support other forecasting
 algorithms, which can be integrated in a modular fashion".  This example
 implements a small custom forecaster — per-joint linear extrapolation of the
 last two commands — against the :class:`repro.forecasting.Forecaster`
-interface, plugs it into the recovery engine, and compares it with the
-built-in VAR, MA and exponential-smoothing algorithms on the same bursty-loss
-scenario.
+interface, registers it under a name with
+:func:`repro.forecasting.register_forecaster`, and compares it with the
+built-in VAR, MA, exponential-smoothing and VARMA algorithms on the same
+bursty-loss scenario by sweeping the ``foreco.algorithm`` axis of a
+:class:`repro.ScenarioSpec` grid.
 
 Run it with::
 
@@ -18,10 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import ForecoConfig, ForecoRecovery, RemoteControlSimulation
-from repro.forecasting import Forecaster, make_forecaster
-from repro.teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
-from repro.wireless import ConsecutiveLossInjector
+from repro import get_scenario
+from repro.forecasting import Forecaster, register_forecaster
+from repro.scenarios import SweepExecutor, scenario_grid
 
 
 class LinearExtrapolationForecaster(Forecaster):
@@ -39,38 +40,29 @@ class LinearExtrapolationForecaster(Forecaster):
         return history[-1] + (history[-1] - history[-2])
 
 
-def evaluate(forecaster: Forecaster, training, commands, delays) -> float:
-    config = ForecoConfig(record=forecaster.record, max_step_rad=0.04)
-    recovery = ForecoRecovery(config, forecaster=forecaster)
-    recovery.train(training.commands)
-    outcome = RemoteControlSimulation(recovery).run(commands, delays)
-    return outcome.rmse_foreco_mm
+LABELS = {
+    "var": "VAR (paper prototype)",
+    "ma": "Moving Average",
+    "ses": "Exponential smoothing",
+    "varma": "VARMA (future work)",
+    "linear-extrapolation": "custom linear extrapolation",
+}
 
 
 def main() -> None:
-    controller = RemoteController()
-    training = controller.stream_from_operator(
-        OperatorModel(profile=experienced_operator(), seed=1), n_repetitions=8
-    )
-    testing = controller.stream_from_operator(
-        OperatorModel(profile=inexperienced_operator(), seed=2), n_repetitions=2
-    )
-    commands = testing.head_seconds(30.0).commands
-    injector = ConsecutiveLossInjector(burst_length=15, n_bursts=5, min_gap=80, seed=9)
-    delays = injector.to_trace(commands.shape[0]).delays()
+    # Once registered, the custom algorithm is addressable by name from any
+    # ScenarioSpec — exactly like the built-ins.
+    register_forecaster("linear-extrapolation", LinearExtrapolationForecaster)
 
-    candidates: dict[str, Forecaster] = {
-        "VAR (paper prototype)": make_forecaster("var", record=10),
-        "Moving Average": make_forecaster("ma", record=10),
-        "Exponential smoothing": make_forecaster("ses", record=10),
-        "VARMA (future work)": make_forecaster("varma", record=10),
-        "custom linear extrapolation": LinearExtrapolationForecaster(record=10),
-    }
+    base = get_scenario("bursty-loss", seed=9).with_channel(burst_length=15)
+    specs = scenario_grid(base, {"foreco.algorithm": tuple(LABELS)})
+    sweep = SweepExecutor(jobs=2).run(specs)
+
     print(f"{'forecaster':<30s} {'FoReCo RMSE [mm]':>18s}")
     print("-" * 50)
-    for label, forecaster in candidates.items():
-        rmse = evaluate(forecaster, training, commands, delays)
-        print(f"{label:<30s} {rmse:>18.2f}")
+    for row in sweep:
+        label = LABELS[row.spec.foreco.algorithm]
+        print(f"{label:<30s} {row.mean_rmse_foreco_mm:>18.2f}")
 
 
 if __name__ == "__main__":

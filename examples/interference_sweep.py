@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Interference sweep: a miniature version of the paper's Fig. 8 heatmaps.
 
-Sweeps the interference probability and duration for several factory-floor
-sizes (number of robots sharing the 802.11 medium) and prints the trajectory
-RMSE of the stock stack and of FoReCo for every cell, plus the improvement
-factor.  The full-size sweep lives in ``repro.experiments.fig8_simulation_heatmap``
-(run it via ``foreco-experiments fig8``).
+Declares the sweep as a grid of :class:`repro.ScenarioSpec` values — robots
+sharing the 802.11 medium x interference probability x burst duration — and
+fans it out over worker threads with the :class:`repro.SweepExecutor`.  The
+result is a uniform table with the trajectory RMSE of the stock stack and of
+FoReCo for every cell; thanks to spec-derived seeding it is identical no
+matter how many workers run it.  The full-size sweep lives in
+``repro.experiments.fig8_simulation_heatmap`` (run it via
+``foreco-experiments fig8 --jobs 4``).
 
 Run it with::
 
@@ -14,54 +17,54 @@ Run it with::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import ForecoConfig, ForecoRecovery, RemoteControlSimulation
-from repro.teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
-from repro.wireless import InterferenceSource, WirelessChannel
+from repro import SweepExecutor
+from repro.scenarios import ScenarioSpec, scenario_grid, wireless_channel
 
 ROBOT_COUNTS = (5, 15, 25)
 PROBABILITIES = (0.01, 0.05)
 DURATIONS = (10, 100)
 REPETITIONS = 2
+JOBS = 4
 
 
 def main() -> None:
-    controller = RemoteController()
-    training = controller.stream_from_operator(
-        OperatorModel(profile=experienced_operator(), seed=1), n_repetitions=8
+    base = ScenarioSpec(
+        name="interference-sweep",
+        channel=wireless_channel(),
+        seed=1,
+        repetitions=REPETITIONS,
     )
-    testing = controller.stream_from_operator(
-        OperatorModel(profile=inexperienced_operator(), seed=2), n_repetitions=2
+    specs = scenario_grid(
+        base,
+        {
+            "channel.n_robots": ROBOT_COUNTS,
+            "channel.probability": PROBABILITIES,
+            "channel.duration_slots": DURATIONS,
+        },
     )
+    print(f"{len(specs)} scenarios x {REPETITIONS} repetitions on {JOBS} workers\n")
 
-    recovery = ForecoRecovery(ForecoConfig())
-    recovery.train(training.commands)
-    simulation = RemoteControlSimulation(recovery)
+    sweep = SweepExecutor(jobs=JOBS).run(specs)
 
-    header = f"{'robots':>6s} {'p_if':>6s} {'T_if':>6s} {'late':>6s} {'no-forecast':>12s} {'FoReCo':>8s} {'gain':>6s}"
+    header = (
+        f"{'robots':>6s} {'p_if':>6s} {'T_if':>6s} {'late':>6s} "
+        f"{'no-forecast':>12s} {'FoReCo':>8s} {'gain':>6s}"
+    )
     print(header)
     print("-" * len(header))
-    for robots in ROBOT_COUNTS:
-        for probability in PROBABILITIES:
-            for duration in DURATIONS:
-                baseline, foreco, late = [], [], []
-                for repetition in range(REPETITIONS):
-                    channel = WirelessChannel(
-                        n_robots=robots,
-                        interference=InterferenceSource(probability, duration),
-                        seed=100 * robots + repetition,
-                    )
-                    delays = channel.sample_trace(len(testing)).delays()
-                    outcome = simulation.run(testing.commands, delays)
-                    baseline.append(outcome.rmse_no_forecast_mm)
-                    foreco.append(outcome.rmse_foreco_mm)
-                    late.append(outcome.late_fraction)
-                gain = np.mean(baseline) / max(np.mean(foreco), 1e-9)
-                print(
-                    f"{robots:>6d} {probability:>6.3f} {duration:>6d} {np.mean(late):>6.2f} "
-                    f"{np.mean(baseline):>10.2f}mm {np.mean(foreco):>6.2f}mm {gain:>5.1f}x"
-                )
+    for row in sweep:
+        options = row.spec.channel.options()
+        print(
+            f"{options['n_robots']:>6d} {options['probability']:>6.3f} "
+            f"{options['duration_slots']:>6d} {row.mean_late_fraction:>6.2f} "
+            f"{row.mean_rmse_no_forecast_mm:>10.2f}mm {row.mean_rmse_foreco_mm:>6.2f}mm "
+            f"{row.improvement_factor:>5.1f}x"
+        )
+
+    worst = sweep.worst(metric="mean_rmse_no_forecast_mm")
+    print(f"\nworst cell without forecasting: {worst.spec.channel.describe()}")
+    print(f"  -> {worst.mean_rmse_no_forecast_mm:.2f} mm baseline, "
+          f"{worst.mean_rmse_foreco_mm:.2f} mm with FoReCo")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
 """Jammed teleoperation with the PID controller in the loop (paper Fig. 10).
 
-Drives a 30-second pick-and-place run over a channel attacked by a bursty
-2.4 GHz jammer (Gilbert–Elliott model), executes it through the per-joint PID
-controller, and reports the RMSE of the stock stack vs FoReCo plus how long
-the PID needs to settle after the longest jam burst ends — the "channel
-recovery" transient highlighted in the paper.
+Runs the ``jammer`` scenario preset — a 30-second pick-and-place run over a
+channel attacked by a bursty 2.4 GHz jammer (Gilbert–Elliott model),
+executed through the per-joint PID controller — and reports the RMSE of the
+stock stack vs FoReCo plus the worst baseline transient after the channel
+recovers, the effect highlighted in the paper.
 
 Run it with::
 
@@ -16,44 +16,32 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import ForecoConfig, ForecoRecovery, RemoteControlSimulation
+from repro import SessionEngine, get_scenario
 from repro.robot import NiryoOneArm
-from repro.teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
-from repro.wireless import GilbertElliottJammer, JammerConfig
 
 
 def main() -> None:
-    controller = RemoteController()
-    training = controller.stream_from_operator(
-        OperatorModel(profile=experienced_operator(), seed=1), n_repetitions=8
-    )
-    testing = controller.stream_from_operator(
-        OperatorModel(profile=inexperienced_operator(), seed=2), n_repetitions=2
-    )
-    commands = testing.head_seconds(30.0).commands
+    spec = get_scenario("jammer", seed=5)
+    print(f"scenario         : {spec.describe()}")
 
-    config = ForecoConfig()
-    recovery = ForecoRecovery(config)
-    recovery.train(training.commands)
+    result = SessionEngine().run(spec)
+    outcome = result.outcome
+    delays = result.delays_ms
+    deadline_ms = spec.foreco.to_config().deadline_ms
+    late = ~np.isfinite(delays) | (delays > deadline_ms)
 
-    jammer = GilbertElliottJammer(JammerConfig(), seed=5)
-    trace = jammer.sample_trace(commands.shape[0])
-    delays = trace.delays()
-    print(f"jammer: {trace.loss_rate():.1%} of commands lost, "
-          f"longest outage {trace.longest_outage(config.deadline_ms)} commands")
-
-    simulation = RemoteControlSimulation(recovery, use_pid=True)
-    outcome = simulation.run(commands, delays)
-    print(f"no-forecast RMSE : {outcome.rmse_no_forecast_mm:.2f} mm")
-    print(f"FoReCo RMSE      : {outcome.rmse_foreco_mm:.2f} mm")
-    print(f"improvement      : x{outcome.improvement_factor:.2f}")
+    lost_share = float(np.mean(~np.isfinite(delays)))
+    print(f"jammer           : {lost_share:.1%} of commands lost, "
+          f"late/lost share {result.mean_late_fraction:.1%}")
+    print(f"no-forecast RMSE : {result.mean_rmse_no_forecast_mm:.2f} mm")
+    print(f"FoReCo RMSE      : {result.mean_rmse_foreco_mm:.2f} mm")
+    print(f"improvement      : x{result.improvement_factor:.2f}")
 
     # Report the worst transient of the stock stack after an outage ends.
     arm = NiryoOneArm()
     baseline = arm.kinematics.positions(outcome.baseline.joints) * 1000.0
     defined = arm.kinematics.positions(outcome.defined.joints) * 1000.0
     errors = np.linalg.norm(baseline - defined, axis=1)
-    late = ~np.isfinite(delays) | (delays > config.deadline_ms)
     worst_slot = int(np.argmax(errors))
     print(f"worst baseline error {errors.max():.1f} mm at t = {worst_slot * 0.02:.2f} s "
           f"(command late there: {bool(late[worst_slot])})")

@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Quickstart: train FoReCo and recover a teleoperation session end to end.
+"""Quickstart: describe a teleoperation scenario declaratively and run it.
 
-This script walks through the whole FoReCo pipeline on a small synthetic
-workload:
+Every workload in this package — the paper experiments, the sweeps, the
+benchmarks — is described by a :class:`repro.ScenarioSpec`: a frozen value
+object naming the operator, the channel model and its parameters, the FoReCo
+configuration, the sizing scale, the seed and the repetition count.  This
+script walks through the essentials:
 
-1. generate the experienced-operator (training) and inexperienced-operator
-   (test) pick-and-place command streams at 50 Hz;
-2. train the VAR forecaster through the FoReCo training pipeline (the same
-   stages the paper profiles in Table I);
-3. replay the test stream through an interference-prone IEEE 802.11 channel;
-4. compare the stock robot stack ("no forecasting") with FoReCo.
+1. fetch a named preset from the scenario registry (a congested access
+   point) and customise it;
+2. run it through the :class:`repro.SessionEngine` — dataset generation,
+   forecaster training and the baseline-vs-FoReCo simulation all happen
+   behind one call, cached by the spec's hash;
+3. read the uniform result row (RMSE pair, improvement, late share).
 
 Run it with::
 
@@ -18,57 +21,34 @@ Run it with::
 
 from __future__ import annotations
 
-from repro.core import CommandDataset, ForecoConfig, ForecoRecovery, RemoteControlSimulation, TrainingPipeline
-from repro.teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
-from repro.wireless import InterferenceSource, WirelessChannel
+from repro import SessionEngine, get_scenario, scenario_names
 
 
 def main() -> None:
-    # 1. Operator datasets (the paper uses 100 task repetitions; we use a few).
-    controller = RemoteController()
-    training_stream = controller.stream_from_operator(
-        OperatorModel(profile=experienced_operator(), seed=1), n_repetitions=8
-    )
-    test_stream = controller.stream_from_operator(
-        OperatorModel(profile=inexperienced_operator(), seed=2), n_repetitions=2
-    )
-    print(f"training commands : {len(training_stream)}")
-    print(f"test commands     : {len(test_stream)}")
+    # 1. A declarative scenario: start from a registry preset and customise.
+    spec = get_scenario("congested-ap", seed=3).with_channel(n_robots=15)
+    print(f"available presets : {', '.join(scenario_names())}")
+    print(f"scenario          : {spec.describe()}")
+    print(f"spec hash         : {spec.spec_hash()}  (the result-cache key)")
 
-    # 2. Train FoReCo through the staged pipeline (Table I stages).
-    config = ForecoConfig()  # Ω = 20 ms, τ = 0, VAR with R = 10
-    dataset = CommandDataset(training_stream.n_joints, period_ms=config.command_period_ms)
-    dataset.extend(training_stream.commands)
-    forecaster, report = TrainingPipeline(config).run(dataset)
-    print(
-        "training pipeline : "
-        f"load {report.timings.load_data_s * 1000:.1f} ms, "
-        f"quality {report.timings.quality_check_s * 1000:.1f} ms, "
-        f"fit {report.timings.training_s * 1000:.1f} ms, "
-        f"test RMSE {report.test_rmse:.4f} rad, "
-        f"inference {report.inference_time_ms:.3f} ms/forecast"
-    )
+    # 2. Resolve the spec: datasets, training and simulation in one call.
+    engine = SessionEngine()
+    datasets = engine.datasets(spec)
+    print(f"training commands : {len(datasets.experienced)}")
+    print(f"test commands     : {len(datasets.inexperienced)}")
 
-    recovery = ForecoRecovery(config, forecaster=forecaster)
+    result = engine.run(spec)
 
-    # 3. An interference-prone 802.11 channel shared by 15 robots.
-    channel = WirelessChannel(
-        n_robots=15,
-        interference=InterferenceSource(probability=0.05, duration_slots=100),
-        seed=3,
-    )
-    trace = channel.sample_trace(len(test_stream))
-    print(
-        "channel           : "
-        f"{trace.late_rate(config.deadline_ms):.1%} of commands late/lost, "
-        f"longest outage {trace.longest_outage(config.deadline_ms)} commands"
-    )
+    # 3. The uniform result row every scenario produces.
+    print(f"late/lost share   : {result.mean_late_fraction:.1%}")
+    print(f"recovered slots   : {result.mean_recovery_fraction:.1%}")
+    print(f"no-forecast RMSE  : {result.mean_rmse_no_forecast_mm:.2f} mm")
+    print(f"FoReCo RMSE       : {result.mean_rmse_foreco_mm:.2f} mm")
+    print(f"improvement       : x{result.improvement_factor:.1f}")
 
-    # 4. Stock stack vs FoReCo.
-    outcome = RemoteControlSimulation(recovery).run(test_stream.commands, trace.delays())
-    print(f"no-forecast RMSE  : {outcome.rmse_no_forecast_mm:.2f} mm")
-    print(f"FoReCo RMSE       : {outcome.rmse_foreco_mm:.2f} mm")
-    print(f"improvement       : x{outcome.improvement_factor:.1f}")
+    # Re-running the same spec is free: the engine caches by spec hash.
+    again = engine.run(spec)
+    print(f"cached re-run     : {again is result}")
 
 
 if __name__ == "__main__":

@@ -33,6 +33,10 @@ Package layout
     Pick-and-place task, operator models and the 50 Hz remote controller.
 ``repro.analysis``
     Result aggregation (heatmaps), statistics and hardware-profiling helpers.
+``repro.scenarios``
+    The unified scenario runtime: declarative, hashable scenario specs,
+    named presets, a caching session engine and a parallel sweep executor —
+    the layer every experiment, example and benchmark goes through.
 ``repro.experiments``
     One module per paper figure/table plus a CLI runner
     (``foreco-experiments``).
@@ -74,6 +78,14 @@ from .forecasting import (
     make_forecaster,
 )
 from .robot import NiryoOneArm, RobotDriver
+from .scenarios import (
+    ScenarioSpec,
+    SessionEngine,
+    SweepExecutor,
+    SweepResult,
+    get_scenario,
+    scenario_names,
+)
 from .teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
 from .wireless import ConsecutiveLossInjector, GilbertElliottJammer, InterferenceSource, WirelessChannel
 
@@ -110,6 +122,12 @@ __all__ = [
     "GilbertElliottJammer",
     "InterferenceSource",
     "WirelessChannel",
+    "ScenarioSpec",
+    "SessionEngine",
+    "SweepExecutor",
+    "SweepResult",
+    "get_scenario",
+    "scenario_names",
     "quick_demo",
     "__version__",
 ]

@@ -9,9 +9,12 @@
   relative platform ordering).
 * :mod:`repro.analysis.statistics` — small summary-statistics helpers
   (mean ± confidence intervals over repeated simulations).
+* :mod:`repro.analysis.sweeps` — renderers turning scenario
+  :class:`~repro.scenarios.SweepResult` tables into heatmaps and summaries.
 """
 
 from .heatmap import HeatmapCell, HeatmapGrid
+from .sweeps import heatmap_from_sweep, sweep_summary
 from .profiling import (
     HARDWARE_PROFILES,
     HardwareProfile,
@@ -23,6 +26,8 @@ from .statistics import ConfidenceInterval, mean_confidence_interval, summarize
 __all__ = [
     "HeatmapCell",
     "HeatmapGrid",
+    "heatmap_from_sweep",
+    "sweep_summary",
     "HARDWARE_PROFILES",
     "HardwareProfile",
     "ProfiledStage",

@@ -1,0 +1,62 @@
+"""Render scenario sweep results into analysis artefacts.
+
+The scenario layer returns a uniform :class:`~repro.scenarios.SweepResult`
+table; this module turns such tables into the analysis-side structures the
+figures are built from — currently :class:`HeatmapGrid` objects keyed by two
+channel parameters (the Fig. 8 layout), plus a compact summary table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .heatmap import HeatmapGrid
+
+
+def heatmap_from_sweep(
+    rows: Iterable,
+    x_param: str = "probability",
+    y_param: str = "duration_slots",
+    metric: str = "rmse_foreco_mm",
+    label: str = "",
+) -> HeatmapGrid:
+    """Aggregate session results into one parameter-grid heatmap.
+
+    ``x_param``/``y_param`` name channel parameters of each row's spec
+    (axis values are collected from the rows); ``metric`` names a
+    per-repetition tuple attribute on the rows (``"rmse_foreco_mm"`` or
+    ``"rmse_no_forecast_mm"``), every repetition contributing one sample to
+    its cell.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ConfigurationError("cannot build a heatmap from an empty sweep")
+    points = []
+    for row in rows:
+        options = row.spec.channel.options()
+        if x_param not in options or y_param not in options:
+            raise ConfigurationError(
+                f"row channel {row.spec.channel.describe()} lacks "
+                f"parameter {x_param!r} or {y_param!r}"
+            )
+        points.append((float(options[x_param]), int(options[y_param]), getattr(row, metric)))
+    xs = sorted({x for x, _, _ in points})
+    ys = sorted({y for _, y, _ in points})
+    grid = HeatmapGrid(xs, ys, label=label)
+    for x, y, samples in points:
+        for value in samples:
+            grid.add_sample(x, y, float(value))
+    return grid
+
+
+def sweep_summary(rows: Iterable) -> str:
+    """One-line-per-row summary of a sweep (scenario, RMSE pair, gain)."""
+    lines = []
+    for row in rows:
+        lines.append(
+            f"{row.spec.name}: no-forecast {row.mean_rmse_no_forecast_mm:.2f} mm, "
+            f"FoReCo {row.mean_rmse_foreco_mm:.2f} mm "
+            f"(x{row.improvement_factor:.1f}, late {row.mean_late_fraction:.2f})"
+        )
+    return "\n".join(lines)

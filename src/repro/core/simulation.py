@@ -164,18 +164,11 @@ class RemoteControlSimulation:
         )
         # newest_at[s] = largest command index usable at slot s (-1 if none yet).
         newest_at = np.full(n, -1, dtype=int)
-        for index in range(n):
-            slot = first_usable_slot[index]
-            if slot < n:
-                newest_at[slot] = max(newest_at[slot], index)
+        usable = first_usable_slot < n
+        np.maximum.at(newest_at, first_usable_slot[usable], np.arange(n)[usable])
         newest_at = np.maximum.accumulate(newest_at)
-        targets = np.empty_like(commands)
-        latest = commands[0]
-        for slot in range(n):
-            if newest_at[slot] >= 0:
-                latest = commands[newest_at[slot]]
-            targets[slot] = latest
-        return targets
+        # Slots before the first arrival hold the initial command c_0.
+        return commands[np.where(newest_at >= 0, newest_at, 0)]
 
     def run_trace(self, commands: np.ndarray, trace: CommandDelayTrace) -> SimulationOutcome:
         """Convenience wrapper accepting a :class:`CommandDelayTrace`."""

@@ -11,7 +11,13 @@ All experiments accept an :class:`ExperimentScale` so CI runs finish in
 seconds while a ``full`` run approaches the paper's sweep sizes.
 """
 
-from .common import ExperimentScale, SharedDatasets, build_datasets, get_scale
+from .common import (
+    ExperimentScale,
+    SharedDatasets,
+    base_scenario,
+    build_datasets,
+    get_scale,
+)
 from . import (
     fig6_dataset,
     fig7_forecast_accuracy,
@@ -25,6 +31,7 @@ from . import (
 __all__ = [
     "ExperimentScale",
     "SharedDatasets",
+    "base_scenario",
     "build_datasets",
     "get_scale",
     "fig6_dataset",

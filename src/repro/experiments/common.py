@@ -2,107 +2,40 @@
 
 The paper's evaluation always starts from the same two artefacts — the
 experienced-operator training dataset and the inexperienced-operator test
-dataset — and then varies the channel.  :func:`build_datasets` produces those
-two command streams (cached per scale+seed within a process so the seven
-experiments and the benchmark suite do not regenerate them over and over),
-and :class:`ExperimentScale` maps the three supported scales to dataset sizes
-and repetition counts:
+dataset — and then varies the channel.  Dataset construction, sizing scales
+and caching all live in the scenario layer now
+(:mod:`repro.scenarios`); this module re-exports them for the experiment
+modules and hosts the paper's sweep constants plus small helpers shared by
+the figures.
 
-``ci``
-    Seconds-long runs used by the integration tests and default benchmarks.
-``standard``
-    A few minutes in total; the default for the CLI runner.
-``full``
-    Approaches the paper's sweep sizes (100 task repetitions, 40 simulation
-    repetitions per heatmap cell); expect a long run.
+The dataset cache is keyed by the *full* :class:`ExperimentScale` value plus
+seed (not just the scale name), so passing a custom scale object can never
+silently return data sized for a different scale.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
+from ..core import ForecoConfig
+from ..scenarios import (
+    ExperimentScale,
+    ForecoSpec,
+    ScenarioSpec,
+    SharedDatasets,
+    build_datasets,
+    get_scale,
+)
 
-import numpy as np
-
-from ..core import ForecoConfig, ForecoRecovery
-from ..errors import ConfigurationError
-from ..teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
-from ..teleop.controller import CommandStream
-
-
-@dataclass(frozen=True)
-class ExperimentScale:
-    """Sizing knobs shared by every experiment.
-
-    Attributes
-    ----------
-    name:
-        Scale label ("ci", "standard", "full").
-    train_repetitions / test_repetitions:
-        Pick-and-place cycles generated for the experienced (training) and
-        inexperienced (test) operators.
-    heatmap_repetitions:
-        Simulation repetitions averaged per Fig. 8 heatmap cell (paper: 40).
-    run_seconds:
-        Length of each Fig. 9 / Fig. 10 experiment run (paper: 30 s).
-    forecast_windows_ms:
-        Forecasting windows evaluated for Fig. 7 (paper: 20–1000 ms).
-    forecast_evaluations:
-        Number of rolling evaluations per Fig. 7 point.
-    seq2seq_units:
-        (encoder, decoder) sizes for the seq2seq forecaster; the paper's
-        200/30 is used at full scale only, smaller sizes keep the NumPy BPTT
-        affordable at CI scale.
-    seq2seq_epochs:
-        Training epochs for the seq2seq forecaster.
-    """
-
-    name: str
-    train_repetitions: int
-    test_repetitions: int
-    heatmap_repetitions: int
-    run_seconds: float
-    forecast_windows_ms: tuple[int, ...]
-    forecast_evaluations: int
-    seq2seq_units: tuple[int, int]
-    seq2seq_epochs: int
-
-
-_SCALES: dict[str, ExperimentScale] = {
-    "ci": ExperimentScale(
-        name="ci",
-        train_repetitions=6,
-        test_repetitions=2,
-        heatmap_repetitions=2,
-        run_seconds=30.0,
-        forecast_windows_ms=(20, 100, 300, 600, 1000),
-        forecast_evaluations=30,
-        seq2seq_units=(16, 8),
-        seq2seq_epochs=2,
-    ),
-    "standard": ExperimentScale(
-        name="standard",
-        train_repetitions=20,
-        test_repetitions=4,
-        heatmap_repetitions=10,
-        run_seconds=30.0,
-        forecast_windows_ms=(20, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000),
-        forecast_evaluations=120,
-        seq2seq_units=(64, 16),
-        seq2seq_epochs=4,
-    ),
-    "full": ExperimentScale(
-        name="full",
-        train_repetitions=100,
-        test_repetitions=10,
-        heatmap_repetitions=40,
-        run_seconds=30.0,
-        forecast_windows_ms=(20, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000),
-        forecast_evaluations=400,
-        seq2seq_units=(200, 30),
-        seq2seq_epochs=10,
-    ),
-}
+__all__ = [
+    "ExperimentScale",
+    "SharedDatasets",
+    "build_datasets",
+    "get_scale",
+    "base_scenario",
+    "FIG8_PROBABILITIES",
+    "FIG8_DURATIONS",
+    "FIG8_ROBOT_COUNTS",
+    "FIG9_BURST_LENGTHS",
+]
 
 #: Interference sweep of Fig. 8 (probability in [0, 1], duration in slots).
 FIG8_PROBABILITIES: tuple[float, ...] = (0.01, 0.025, 0.05)
@@ -113,61 +46,18 @@ FIG8_ROBOT_COUNTS: tuple[int, ...] = (5, 15, 25)
 FIG9_BURST_LENGTHS: tuple[int, ...] = (5, 10, 25)
 
 
-def get_scale(scale: str | ExperimentScale = "ci") -> ExperimentScale:
-    """Resolve a scale by name (or pass an :class:`ExperimentScale` through)."""
-    if isinstance(scale, ExperimentScale):
-        return scale
-    try:
-        return _SCALES[scale]
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown experiment scale {scale!r}; available: {sorted(_SCALES)}"
-        ) from exc
+def base_scenario(
+    name: str,
+    scale: str | ExperimentScale = "ci",
+    seed: int = 42,
+    config: ForecoConfig | None = None,
+    **fields,
+) -> ScenarioSpec:
+    """The scenario spec an experiment starts from.
 
-
-@dataclass
-class SharedDatasets:
-    """The two operator command streams every experiment starts from."""
-
-    experienced: CommandStream
-    inexperienced: CommandStream
-
-    @property
-    def n_joints(self) -> int:
-        """Command dimensionality (6 for the Niryo One)."""
-        return self.experienced.n_joints
-
-
-@lru_cache(maxsize=8)
-def _cached_datasets(scale_name: str, seed: int) -> SharedDatasets:
-    scale = get_scale(scale_name)
-    controller = RemoteController()
-    experienced = controller.stream_from_operator(
-        OperatorModel(profile=experienced_operator(), seed=seed),
-        n_repetitions=scale.train_repetitions,
-    )
-    inexperienced = controller.stream_from_operator(
-        OperatorModel(profile=inexperienced_operator(), seed=seed + 1),
-        n_repetitions=scale.test_repetitions,
-    )
-    return SharedDatasets(experienced=experienced, inexperienced=inexperienced)
-
-
-def build_datasets(scale: str | ExperimentScale = "ci", seed: int = 42) -> SharedDatasets:
-    """Build (or fetch from the in-process cache) the shared operator datasets."""
-    scale = get_scale(scale)
-    return _cached_datasets(scale.name, int(seed))
-
-
-def default_recovery(datasets: SharedDatasets, config: ForecoConfig | None = None) -> ForecoRecovery:
-    """Train a FoReCo recovery engine on the experienced dataset."""
-    config = config if config is not None else ForecoConfig()
-    recovery = ForecoRecovery(config=config)
-    recovery.train(datasets.experienced.commands)
-    return recovery
-
-
-def test_commands_for_run(datasets: SharedDatasets, run_seconds: float) -> np.ndarray:
-    """The first ``run_seconds`` worth of inexperienced-operator commands."""
-    stream = datasets.inexperienced.head_seconds(run_seconds)
-    return stream.commands
+    ``config`` (a runtime :class:`ForecoConfig`) is frozen into the spec's
+    :class:`~repro.scenarios.ForecoSpec`; extra ``fields`` are forwarded to
+    :class:`~repro.scenarios.ScenarioSpec` (e.g. ``use_pid=True``).
+    """
+    foreco = ForecoSpec.from_config(config) if config is not None else ForecoSpec()
+    return ScenarioSpec(name=name, scale=get_scale(scale), seed=int(seed), foreco=foreco, **fields)

@@ -11,21 +11,23 @@ outcomes are:
   ≈400 ms to settle back onto the defined trajectory, because it received
   repeated commands for over a second.
 
-This module reproduces the run with the Gilbert–Elliott jammer and the PID
-joint controller enabled, and reports the RMSE pair, the improvement factor
+This module reproduces the run as a single ``jammer`` :class:`ScenarioSpec`
+(Gilbert–Elliott channel, PID joint controller enabled) resolved through the
+scenario session engine, and reports the RMSE pair, the improvement factor
 and the measured PID settling time after the longest jam burst.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from ..core import ForecoConfig, RemoteControlSimulation, SimulationOutcome
+from ..core import ForecoConfig, SimulationOutcome
 from ..robot.niryo import NiryoOneArm
-from ..wireless import GilbertElliottJammer, JammerConfig
-from .common import ExperimentScale, build_datasets, default_recovery, get_scale, test_commands_for_run
+from ..scenarios import SessionEngine, jammer_channel
+from ..wireless import JammerConfig
+from .common import ExperimentScale, base_scenario, get_scale
 
 
 @dataclass
@@ -58,6 +60,18 @@ class Fig10Result:
             ]
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe rendering of the headline numbers."""
+        return {
+            "experiment": "fig10",
+            "rmse_no_forecast_mm": self.rmse_no_forecast_mm,
+            "rmse_foreco_mm": self.rmse_foreco_mm,
+            "improvement_factor": self.improvement_factor,
+            "jammed_fraction": self.jammed_fraction,
+            "longest_burst_commands": self.longest_burst_commands,
+            "pid_settling_ms": self.pid_settling_ms,
+        }
+
 
 def run(
     scale: str | ExperimentScale = "ci",
@@ -65,22 +79,27 @@ def run(
     jammer_config: JammerConfig | None = None,
     config: ForecoConfig | None = None,
     use_pid: bool = True,
+    jobs: int = 1,
 ) -> Fig10Result:
-    """Reproduce the jammed-channel experiment."""
+    """Reproduce the jammed-channel experiment (``jobs`` accepted for CLI uniformity)."""
     scale = get_scale(scale)
-    datasets = build_datasets(scale, seed=seed)
-    recovery = default_recovery(datasets, config=config)
-    commands = test_commands_for_run(datasets, scale.run_seconds)
+    channel_params = asdict(jammer_config) if jammer_config is not None else {}
+    spec = base_scenario(
+        "fig10",
+        scale,
+        seed,
+        config,
+        channel=jammer_channel(**channel_params),
+        run_seconds=scale.run_seconds,
+        use_pid=use_pid,
+    )
+    row = SessionEngine().run(spec)
+    outcome = row.outcome
+    delays = row.delays_ms
 
-    jammer = GilbertElliottJammer(config=jammer_config, seed=seed)
-    trace = jammer.sample_trace(commands.shape[0])
-    delays = trace.delays()
-
-    simulation = RemoteControlSimulation(recovery, use_pid=use_pid)
-    outcome = simulation.run(commands, delays)
-
-    period_ms = recovery.config.command_period_ms
-    late_mask = ~np.isfinite(delays) | (delays > recovery.config.deadline_ms)
+    period_ms = spec.foreco.command_period_ms
+    deadline_ms = spec.foreco.to_config().deadline_ms
+    late_mask = ~np.isfinite(delays) | (delays > deadline_ms)
     longest = _longest_run(late_mask)
     settling_ms = _pid_settling_after_recovery(outcome, late_mask, period_ms)
 

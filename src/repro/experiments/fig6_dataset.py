@@ -15,7 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..robot.niryo import NiryoOneArm
-from .common import ExperimentScale, build_datasets, get_scale
+from ..scenarios import SessionEngine
+from .common import ExperimentScale, base_scenario, get_scale
 
 
 @dataclass
@@ -50,11 +51,23 @@ class Fig6Result:
             for t, d in zip(self.times_s[::step], self.distance_mm[::step])
         ]
 
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the down-sampled series plus the envelope)."""
+        return {
+            "experiment": "fig6",
+            "n_commands": self.n_commands,
+            "n_repetitions": self.n_repetitions,
+            "min_distance_mm": self.min_distance_mm,
+            "max_distance_mm": self.max_distance_mm,
+            "cycle_duration_s": self.cycle_duration_s,
+            "series": self.series(),
+        }
 
-def run(scale: str | ExperimentScale = "ci", seed: int = 42) -> Fig6Result:
+
+def run(scale: str | ExperimentScale = "ci", seed: int = 42, jobs: int = 1) -> Fig6Result:
     """Regenerate the Fig. 6 dataset trace at the requested scale."""
     scale = get_scale(scale)
-    datasets = build_datasets(scale, seed=seed)
+    datasets = SessionEngine().datasets(base_scenario("fig6", scale, seed))
     stream = datasets.inexperienced
     arm = NiryoOneArm()
     distance = arm.trajectory_distance_mm(stream.commands)

@@ -18,8 +18,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from concurrent.futures import ThreadPoolExecutor
+
 from ..forecasting import make_forecaster, multi_step_rmse
-from .common import ExperimentScale, build_datasets, get_scale
+from ..scenarios import SessionEngine
+from .common import ExperimentScale, base_scenario, get_scale
 
 
 @dataclass
@@ -52,6 +55,16 @@ class Fig7Result:
         """RMSE at the longest forecasting window for one algorithm."""
         return self.rmse_mm[algorithm][-1]
 
+    def to_dict(self) -> dict:
+        """JSON-safe rendering of the per-algorithm RMSE curves."""
+        return {
+            "experiment": "fig7",
+            "windows_ms": list(self.windows_ms),
+            "rmse_mm": {name: list(curve) for name, curve in self.rmse_mm.items()},
+            "best_record": dict(self.best_record),
+            "n_parameters": dict(self.n_parameters),
+        }
+
 
 def _candidate_records(algorithm: str, scale: ExperimentScale) -> list[int]:
     """Record lengths swept per algorithm (paper: R = 1..20, best reported)."""
@@ -66,10 +79,16 @@ def run(
     scale: str | ExperimentScale = "ci",
     seed: int = 42,
     algorithms: tuple[str, ...] = ("var", "ma", "seq2seq"),
+    jobs: int = 1,
 ) -> Fig7Result:
-    """Reproduce the Fig. 7 sweep at the requested scale."""
+    """Reproduce the Fig. 7 sweep at the requested scale.
+
+    ``jobs`` parallelises the (algorithm, record-length) candidate fits;
+    the per-candidate evaluation is self-contained, so the selected curves
+    are identical to the serial run.
+    """
     scale = get_scale(scale)
-    datasets = build_datasets(scale, seed=seed)
+    datasets = SessionEngine().datasets(base_scenario("fig7", scale, seed))
     train = datasets.experienced.commands
     test = datasets.inexperienced.commands
     period_ms = datasets.inexperienced.period_ms
@@ -78,25 +97,43 @@ def run(
     horizons = [max(1, int(round(w / period_ms))) for w in windows_ms]
     stride = max(1, (test.shape[0] - 60) // max(1, scale.forecast_evaluations))
 
+    candidates = [
+        (algorithm, record)
+        for algorithm in algorithms
+        for record in _candidate_records(algorithm, scale)
+    ]
+
+    def evaluate(candidate: tuple[str, int]) -> tuple[str, int, list[float], int]:
+        algorithm, record = candidate
+        forecaster = _build(algorithm, record, scale, seed)
+        forecaster.fit(train)
+        rmse = [
+            multi_step_rmse(
+                forecaster, test, horizon, stride=stride,
+                max_evaluations=scale.forecast_evaluations,
+            )
+            for horizon in horizons
+        ]
+        return algorithm, record, rmse, int(getattr(forecaster, "n_parameters", 0) or 0)
+
+    if max(1, int(jobs)) > 1 and len(candidates) > 1:
+        with ThreadPoolExecutor(max_workers=int(jobs)) as pool:
+            evaluations = list(pool.map(evaluate, candidates))
+    else:
+        evaluations = [evaluate(candidate) for candidate in candidates]
+
     result = Fig7Result(windows_ms=windows_ms)
     for algorithm in algorithms:
         best_rmse: list[float] | None = None
         best_record = 0
         best_params = 0
-        for record in _candidate_records(algorithm, scale):
-            forecaster = _build(algorithm, record, scale, seed)
-            forecaster.fit(train)
-            rmse = [
-                multi_step_rmse(
-                    forecaster, test, horizon, stride=stride,
-                    max_evaluations=scale.forecast_evaluations,
-                )
-                for horizon in horizons
-            ]
+        for name, record, rmse, n_params in evaluations:
+            if name != algorithm:
+                continue
             if best_rmse is None or np.mean(rmse) < np.mean(best_rmse):
                 best_rmse = rmse
                 best_record = record
-                best_params = getattr(forecaster, "n_parameters", 0)
+                best_params = n_params
         assert best_rmse is not None
         result.rmse_mm[algorithm] = [float(v) for v in best_rmse]
         result.best_record[algorithm] = best_record

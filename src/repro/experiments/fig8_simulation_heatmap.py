@@ -6,6 +6,11 @@ sweeps the interference probability (1%, 2.5%, 5%) and duration (10, 50, 100
 slots).  For every cell it averages the trajectory RMSE over 40 repetitions,
 once with the stock robot stack ("no forecasting") and once with FoReCo.
 
+The sweep itself is declarative: one :class:`ScenarioSpec` per heatmap cell,
+expanded with :func:`repro.scenarios.scenario_grid` and executed by the
+:class:`repro.scenarios.SweepExecutor` (pass ``jobs`` to fan the cells out
+over worker threads; results are identical to the serial run).
+
 Reported outcome (the shape this experiment reproduces):
 
 * the no-forecast error grows sharply with interference probability/duration
@@ -19,20 +24,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..analysis.heatmap import HeatmapGrid
-from ..core import ForecoConfig, RemoteControlSimulation
-from ..wireless import InterferenceSource, WirelessChannel
+from ..analysis.sweeps import heatmap_from_sweep
+from ..core import ForecoConfig
+from ..scenarios import SweepExecutor, scenario_grid, wireless_channel
 from .common import (
     FIG8_DURATIONS,
     FIG8_PROBABILITIES,
     FIG8_ROBOT_COUNTS,
     ExperimentScale,
-    build_datasets,
-    default_recovery,
+    base_scenario,
     get_scale,
-    test_commands_for_run,
 )
 
 
@@ -72,6 +74,16 @@ class Fig8Result:
         """Worst-cell no-forecast RMSE divided by worst-cell FoReCo RMSE."""
         return self.no_forecast[robots].max_mean() / max(self.foreco[robots].max_mean(), 1e-9)
 
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (per-cell means for both heatmap stacks)."""
+        return {
+            "experiment": "fig8",
+            "repetitions": self.repetitions,
+            "robot_counts": list(self.robot_counts),
+            "no_forecast": {str(r): self.no_forecast[r].as_records() for r in self.robot_counts},
+            "foreco": {str(r): self.foreco[r].as_records() for r in self.robot_counts},
+        }
+
 
 def run(
     scale: str | ExperimentScale = "ci",
@@ -80,34 +92,36 @@ def run(
     probabilities: tuple[float, ...] = FIG8_PROBABILITIES,
     durations: tuple[int, ...] = FIG8_DURATIONS,
     config: ForecoConfig | None = None,
+    jobs: int = 1,
 ) -> Fig8Result:
     """Reproduce the Fig. 8 sweep at the requested scale."""
     scale = get_scale(scale)
-    datasets = build_datasets(scale, seed=seed)
-    recovery = default_recovery(datasets, config=config)
-    commands = test_commands_for_run(datasets, scale.run_seconds * 2)
-    simulation = RemoteControlSimulation(recovery)
+    base = base_scenario(
+        "fig8",
+        scale,
+        seed,
+        config,
+        channel=wireless_channel(),
+        repetitions=scale.heatmap_repetitions,
+        run_seconds=scale.run_seconds * 2,
+    )
+    specs = scenario_grid(
+        base,
+        {
+            "channel.n_robots": robot_counts,
+            "channel.probability": probabilities,
+            "channel.duration_slots": durations,
+        },
+    )
+    sweep = SweepExecutor(jobs=jobs).run(specs)
 
     result = Fig8Result(robot_counts=list(robot_counts), repetitions=scale.heatmap_repetitions)
     for robots in robot_counts:
-        grid_baseline = HeatmapGrid(
-            list(probabilities), list(durations), label=f"no forecasting - {robots} robots"
+        rows = sweep.filter(lambda row: row.spec.channel.options()["n_robots"] == robots)
+        result.no_forecast[robots] = heatmap_from_sweep(
+            rows, metric="rmse_no_forecast_mm", label=f"no forecasting - {robots} robots"
         )
-        grid_foreco = HeatmapGrid(
-            list(probabilities), list(durations), label=f"FoReCo - {robots} robots"
+        result.foreco[robots] = heatmap_from_sweep(
+            rows, metric="rmse_foreco_mm", label=f"FoReCo - {robots} robots"
         )
-        for probability in probabilities:
-            for duration in durations:
-                for repetition in range(scale.heatmap_repetitions):
-                    channel = WirelessChannel(
-                        n_robots=robots,
-                        interference=InterferenceSource(probability, duration),
-                        seed=seed + 1000 * robots + repetition,
-                    )
-                    delays = channel.sample_trace(commands.shape[0]).delays()
-                    outcome = simulation.run(commands, delays)
-                    grid_baseline.add_sample(probability, duration, outcome.rmse_no_forecast_mm)
-                    grid_foreco.add_sample(probability, duration, outcome.rmse_foreco_mm)
-        result.no_forecast[robots] = grid_baseline
-        result.foreco[robots] = grid_foreco
     return result

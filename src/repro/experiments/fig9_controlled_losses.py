@@ -3,7 +3,9 @@
 In the paper's first experimental analysis (§VI-D1), the remote controller
 deliberately drops 5, 10 or 25 consecutive control commands at random points
 of a 30-second run, and the robot trajectory is recorded with the stock stack
-and with FoReCo injecting VAR forecasts.  Reported outcomes:
+and with FoReCo injecting VAR forecasts.  Each burst length is one
+``loss-burst`` :class:`ScenarioSpec`, executed through the scenario sweep
+engine.  Reported outcomes:
 
 * FoReCo reduces the trajectory error for every burst length;
 * its RMSE stays in the single-digit millimetre range, consistent with the
@@ -18,15 +20,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core import ForecoConfig, RemoteControlSimulation, SimulationOutcome
-from ..wireless import ConsecutiveLossInjector
+from ..core import ForecoConfig, SimulationOutcome
+from ..scenarios import SweepExecutor, loss_burst_channel, scenario_grid
 from .common import (
     FIG9_BURST_LENGTHS,
     ExperimentScale,
-    build_datasets,
-    default_recovery,
+    base_scenario,
     get_scale,
-    test_commands_for_run,
 )
 
 
@@ -59,6 +59,19 @@ class Fig9Result:
         """No-forecast RMSE over FoReCo RMSE for one burst length."""
         return self.rmse_no_forecast_mm[burst] / max(self.rmse_foreco_mm[burst], 1e-9)
 
+    def to_dict(self) -> dict:
+        """JSON-safe rendering of the per-burst table."""
+        return {
+            "experiment": "fig9",
+            "burst_lengths": list(self.burst_lengths),
+            "rmse_no_forecast_mm": {str(b): self.rmse_no_forecast_mm[b] for b in self.burst_lengths},
+            "rmse_foreco_mm": {str(b): self.rmse_foreco_mm[b] for b in self.burst_lengths},
+            "max_error_foreco_mm": {str(b): self.max_error_foreco_mm[b] for b in self.burst_lengths},
+            "improvement_factor": {
+                str(b): self.improvement_factor(b) for b in self.burst_lengths
+            },
+        }
+
 
 def run(
     scale: str | ExperimentScale = "ci",
@@ -66,26 +79,27 @@ def run(
     burst_lengths: tuple[int, ...] = FIG9_BURST_LENGTHS,
     n_bursts: int = 5,
     config: ForecoConfig | None = None,
+    jobs: int = 1,
 ) -> Fig9Result:
     """Reproduce the Fig. 9 controlled-loss experiments."""
     scale = get_scale(scale)
-    datasets = build_datasets(scale, seed=seed)
-    recovery = default_recovery(datasets, config=config)
-    commands = test_commands_for_run(datasets, scale.run_seconds)
-    simulation = RemoteControlSimulation(recovery)
+    base = base_scenario(
+        "fig9",
+        scale,
+        seed,
+        config,
+        channel=loss_burst_channel(burst_length=5, n_bursts=n_bursts, min_gap=60),
+        run_seconds=scale.run_seconds,
+    )
+    specs = scenario_grid(base, {"channel.burst_length": burst_lengths})
+    sweep = SweepExecutor(jobs=jobs).run(specs)
 
     result = Fig9Result(burst_lengths=list(burst_lengths))
-    for burst in burst_lengths:
-        injector = ConsecutiveLossInjector(
-            burst_length=burst, n_bursts=n_bursts, min_gap=60, seed=seed + burst
-        )
-        delays = injector.to_trace(commands.shape[0]).delays()
-        outcome = simulation.run(commands, delays)
-        foreco_errors = np.asarray(
-            _per_step_errors(outcome), dtype=float
-        )
-        result.rmse_no_forecast_mm[burst] = outcome.rmse_no_forecast_mm
-        result.rmse_foreco_mm[burst] = outcome.rmse_foreco_mm
+    for burst, row in zip(burst_lengths, sweep):
+        outcome = row.outcome
+        foreco_errors = _per_step_errors(outcome)
+        result.rmse_no_forecast_mm[burst] = row.mean_rmse_no_forecast_mm
+        result.rmse_foreco_mm[burst] = row.mean_rmse_foreco_mm
         result.max_error_foreco_mm[burst] = float(foreco_errors.max()) if foreco_errors.size else 0.0
         result.outcomes[burst] = outcome
     return result

@@ -1,22 +1,32 @@
-"""Command-line runner for the paper experiments.
+"""Command-line runner for the paper experiments and scenario presets.
 
 Installed as the ``foreco-experiments`` console script::
 
-    foreco-experiments all                 # every figure/table at CI scale
-    foreco-experiments fig8 --scale standard
+    foreco-experiments all                     # every figure/table at CI scale
+    foreco-experiments fig8 --scale ci --jobs 4
     foreco-experiments fig7 fig9 --seed 7 --output results.txt
+    foreco-experiments --scenario jammer --scenario congested-ap --jobs 2
+    foreco-experiments all --format json       # machine-readable report
 
 Each experiment prints the text rendering of its result (the same tables the
-benchmark harness produces), so the paper-vs-measured comparison recorded in
-EXPERIMENTS.md can be regenerated with a single command.
+benchmark harness produces) or, with ``--format json``, a JSON document, so
+the paper-vs-measured comparison recorded in EXPERIMENTS.md can be
+regenerated with a single command.  ``--jobs`` fans sweep-style experiments
+out over worker threads through the scenario engine; results are identical
+to the serial run.  ``--scenario`` runs named presets from
+:mod:`repro.scenarios.registry` (repeat the flag for several; the special
+name ``all`` runs every preset).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
+from ..errors import ConfigurationError
+from ..scenarios import SweepExecutor, get_scenario, scenario_catalog, scenario_names
 from . import (
     fig6_dataset,
     fig7_forecast_accuracy,
@@ -47,27 +57,81 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
+        default=[],
         help="experiments to run: " + ", ".join(sorted(EXPERIMENTS)) + ", or 'all'",
     )
     parser.add_argument("--scale", default="ci", choices=["ci", "standard", "full"],
                         help="experiment scale (default: ci)")
     parser.add_argument("--seed", type=int, default=42, help="random seed (default: 42)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker threads for sweep-style experiments (default: 1)")
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="also run a named scenario preset ("
+        + ", ".join(scenario_names())
+        + "); repeat for several, or 'all' for every preset",
+    )
+    parser.add_argument("--format", dest="fmt", default="text", choices=["text", "json"],
+                        help="report format (default: text)")
     parser.add_argument("--output", default=None, help="also write the report to this file")
     return parser
 
 
-def run_experiments(names: list[str], scale: str, seed: int) -> str:
-    """Run the selected experiments and return the combined text report."""
+def run_experiments(
+    names: list[str],
+    scale: str,
+    seed: int,
+    jobs: int = 1,
+    fmt: str = "text",
+    scenarios: list[str] | None = None,
+) -> str:
+    """Run the selected experiments/scenarios and return the combined report."""
     if any(name == "all" for name in names):
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+    scenarios = list(scenarios or [])
+    if any(name == "all" for name in scenarios):
+        scenarios = scenario_names()
+    if not names and not scenarios:
+        raise SystemExit("nothing to run: pass experiment names and/or --scenario")
+
+    results = {name: EXPERIMENTS[name](scale=scale, seed=seed, jobs=jobs) for name in names}
+    sweep = None
+    if scenarios:
+        try:
+            specs = [get_scenario(name, scale=scale, seed=seed) for name in scenarios]
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
+        sweep = SweepExecutor(jobs=jobs).run(specs)
+
+    if fmt == "json":
+        document: dict = {
+            "scale": scale,
+            "seed": seed,
+            "experiments": {name: result.to_dict() for name, result in results.items()},
+        }
+        if sweep is not None:
+            document["scenarios"] = sweep.to_records()
+        return json.dumps(document, indent=2) + "\n"
+
     sections = []
-    for name in names:
-        result = EXPERIMENTS[name](scale=scale, seed=seed)
+    for result in results.values():
         sections.append(result.to_text())
+        sections.append("")
+    if sweep is not None:
+        catalog = scenario_catalog()
+        sections.append("# scenario presets")
+        for name, row in zip(scenarios, sweep):
+            description = catalog.get(row.spec.name, "")
+            if description:
+                sections.append(f"## {name} — {description}")
+        sections.append(sweep.to_table())
         sections.append("")
     return "\n".join(sections).rstrip() + "\n"
 
@@ -76,7 +140,14 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point used by the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    report = run_experiments(args.experiments, scale=args.scale, seed=args.seed)
+    report = run_experiments(
+        args.experiments,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        fmt=args.fmt,
+        scenarios=args.scenario,
+    )
     sys.stdout.write(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -22,7 +22,8 @@ import numpy as np
 from ..analysis.profiling import HARDWARE_PROFILES
 from ..analysis.statistics import summarize
 from ..core import CommandDataset, ForecoConfig, TrainingPipeline
-from .common import ExperimentScale, build_datasets, get_scale
+from ..scenarios import SessionEngine
+from .common import ExperimentScale, base_scenario, get_scale
 
 
 @dataclass
@@ -57,6 +58,18 @@ class Table1Result:
         """Mean total pipeline duration on the current host."""
         return float(sum(stats["mean"] for stats in self.stage_stats.values()))
 
+    def to_dict(self) -> dict:
+        """JSON-safe rendering of the stage-timing table."""
+        return {
+            "experiment": "table1",
+            "n_runs": self.n_runs,
+            "n_commands": self.n_commands,
+            "stage_stats": {stage: dict(stats) for stage, stats in self.stage_stats.items()},
+            "test_rmse_mm": self.test_rmse_mm,
+            "inference_ms": self.inference_ms,
+            "projected_pi_total_s": self.projected_pi_total_s,
+        }
+
 
 def run(
     scale: str | ExperimentScale = "ci",
@@ -64,10 +77,15 @@ def run(
     repetitions: int = 3,
     downsample_factor: int = 1,
     config: ForecoConfig | None = None,
+    jobs: int = 1,
 ) -> Table1Result:
-    """Profile the training pipeline stages over ``repetitions`` runs."""
+    """Profile the training pipeline stages over ``repetitions`` runs.
+
+    ``jobs`` is accepted for CLI uniformity but ignored: parallel runs would
+    contend for the CPU and skew the wall-clock timings being measured.
+    """
     scale = get_scale(scale)
-    datasets = build_datasets(scale, seed=seed)
+    datasets = SessionEngine().datasets(base_scenario("table1", scale, seed, config))
     config = config if config is not None else ForecoConfig()
 
     dataset = CommandDataset(datasets.n_joints, period_ms=config.command_period_ms)

@@ -23,7 +23,8 @@ import numpy as np
 from ..analysis.profiling import HARDWARE_PROFILES, scale_timings_to_hardware
 from ..forecasting import make_forecaster
 from ..core import ForecoConfig
-from .common import ExperimentScale, build_datasets, get_scale
+from ..scenarios import SessionEngine
+from .common import ExperimentScale, base_scenario, get_scale
 
 
 @dataclass
@@ -59,6 +60,16 @@ class Table2Result:
         """Projected single-forecast inference time (ms) for one tier."""
         return self.projections[tier]["inference_ms"]
 
+    def to_dict(self) -> dict:
+        """JSON-safe rendering of the per-tier projections."""
+        return {
+            "experiment": "table2",
+            "measured_training_s": self.measured_training_s,
+            "measured_inference_ms": self.measured_inference_ms,
+            "reference_tier": self.reference_tier,
+            "projections": {tier: dict(values) for tier, values in self.projections.items()},
+        }
+
 
 def run(
     scale: str | ExperimentScale = "ci",
@@ -66,10 +77,15 @@ def run(
     config: ForecoConfig | None = None,
     reference_tier: str = "laptop",
     n_inference_samples: int = 200,
+    jobs: int = 1,
 ) -> Table2Result:
-    """Measure training/inference on the host and project every Table II tier."""
+    """Measure training/inference on the host and project every Table II tier.
+
+    ``jobs`` is accepted for CLI uniformity but ignored: concurrent work
+    would skew the wall-clock measurements.
+    """
     scale = get_scale(scale)
-    datasets = build_datasets(scale, seed=seed)
+    datasets = SessionEngine().datasets(base_scenario("table2", scale, seed, config))
     config = config if config is not None else ForecoConfig()
     train = datasets.experienced.commands
     test = datasets.inexperienced.commands

@@ -8,7 +8,14 @@ candidates.  All of them are implemented here behind the common
 algorithms "in a modular fashion" as the paper requires.
 """
 
-from .base import Forecaster, ForecastResult, make_forecaster, sliding_windows
+from .base import (
+    Forecaster,
+    ForecastResult,
+    forecaster_names,
+    make_forecaster,
+    register_forecaster,
+    sliding_windows,
+)
 from .ma import MovingAverageForecaster
 from .metrics import forecast_rmse, multi_step_rmse, rolling_forecast_errors
 from .seq2seq import Seq2SeqForecaster
@@ -19,7 +26,9 @@ from .varma import VarmaForecaster
 __all__ = [
     "Forecaster",
     "ForecastResult",
+    "forecaster_names",
     "make_forecaster",
+    "register_forecaster",
     "sliding_windows",
     "MovingAverageForecaster",
     "forecast_rmse",

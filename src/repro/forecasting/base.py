@@ -150,24 +150,56 @@ class Forecaster(abc.ABC):
         return self._n_joints
 
 
-def make_forecaster(name: str, record: int = 5, **kwargs) -> Forecaster:
-    """Factory building a forecaster by registry name.
+#: Extra forecaster classes registered at runtime (name -> class).
+_CUSTOM_FORECASTERS: dict[str, type["Forecaster"]] = {}
 
-    Supported names: ``"var"``, ``"ma"``, ``"seq2seq"``, ``"varma"``, ``"ses"``.
+
+def register_forecaster(name: str, cls: type["Forecaster"], overwrite: bool = False) -> None:
+    """Register a custom forecaster class under ``name``.
+
+    Registered classes become constructible through :func:`make_forecaster`
+    — and therefore usable from a :class:`~repro.scenarios.ScenarioSpec`,
+    whose ``algorithm`` field is a registry name.  The built-in names
+    ("var", "ma", "seq2seq", "varma", "ses") cannot be shadowed.
     """
+    key = name.lower()
+    if key in _builtin_forecasters():
+        raise ConfigurationError(f"cannot shadow the built-in forecaster {name!r}")
+    if key in _CUSTOM_FORECASTERS and not overwrite:
+        raise ConfigurationError(f"forecaster {name!r} is already registered")
+    if not (isinstance(cls, type) and issubclass(cls, Forecaster)):
+        raise ConfigurationError("a registered forecaster must subclass Forecaster")
+    _CUSTOM_FORECASTERS[key] = cls
+
+
+def forecaster_names() -> list[str]:
+    """Sorted names accepted by :func:`make_forecaster`."""
+    return sorted({**_builtin_forecasters(), **_CUSTOM_FORECASTERS})
+
+
+def _builtin_forecasters() -> dict[str, type["Forecaster"]]:
     from .ma import MovingAverageForecaster
     from .seq2seq import Seq2SeqForecaster
     from .smoothing import ExponentialSmoothingForecaster
     from .var import VarForecaster
     from .varma import VarmaForecaster
 
-    registry: dict[str, type[Forecaster]] = {
+    return {
         "var": VarForecaster,
         "ma": MovingAverageForecaster,
         "seq2seq": Seq2SeqForecaster,
         "varma": VarmaForecaster,
         "ses": ExponentialSmoothingForecaster,
     }
+
+
+def make_forecaster(name: str, record: int = 5, **kwargs) -> Forecaster:
+    """Factory building a forecaster by registry name.
+
+    Built-in names: ``"var"``, ``"ma"``, ``"seq2seq"``, ``"varma"``,
+    ``"ses"``; more can be added with :func:`register_forecaster`.
+    """
+    registry = {**_builtin_forecasters(), **_CUSTOM_FORECASTERS}
     try:
         cls = registry[name.lower()]
     except KeyError as exc:

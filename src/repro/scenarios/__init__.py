@@ -1,0 +1,86 @@
+"""Unified scenario runtime: declarative specs plus a parallel sweep engine.
+
+This package is the single entry point every evaluation workload goes
+through — the seven paper experiments, the examples, the benchmark harness
+and the ``foreco-experiments`` CLI all describe work as
+:class:`ScenarioSpec` values and execute them through the
+:class:`SessionEngine` / :class:`SweepExecutor` pair:
+
+* :mod:`repro.scenarios.spec` — frozen, hashable scenario descriptions
+  (operator, channel model + params, FoReCo config, scale, seed,
+  repetitions) and the channel-spec helpers;
+* :mod:`repro.scenarios.registry` — named presets (``clean``,
+  ``bursty-loss``, ``jammer``, ``congested-ap``, ``jammer-congestion``,
+  ``operator-mix``, ``random-loss``);
+* :mod:`repro.scenarios.engine` — resolves one spec into
+  :class:`repro.core.RemoteControlSimulation` runs with dataset /
+  forecaster / result caching keyed by the spec hash;
+* :mod:`repro.scenarios.sweep` — fans lists/grids of specs out over worker
+  threads and returns a uniform :class:`SweepResult` table.
+"""
+
+from .engine import (
+    SessionEngine,
+    SessionResult,
+    SharedDatasets,
+    build_datasets,
+    repetition_seed,
+    sample_channel_delays,
+)
+from .registry import (
+    get_scenario,
+    register_scenario,
+    scenario_catalog,
+    scenario_names,
+)
+from .spec import (
+    CHANNEL_KINDS,
+    OPERATORS,
+    ChannelSpec,
+    ExperimentScale,
+    ForecoSpec,
+    ScenarioSpec,
+    clean_channel,
+    compound_channel,
+    freeze_params,
+    get_scale,
+    jammer_channel,
+    loss_burst_channel,
+    periodic_loss_channel,
+    random_loss_channel,
+    scale_names,
+    wireless_channel,
+)
+from .sweep import SweepExecutor, SweepResult, scenario_grid
+
+__all__ = [
+    "CHANNEL_KINDS",
+    "OPERATORS",
+    "ChannelSpec",
+    "ExperimentScale",
+    "ForecoSpec",
+    "ScenarioSpec",
+    "SessionEngine",
+    "SessionResult",
+    "SharedDatasets",
+    "SweepExecutor",
+    "SweepResult",
+    "build_datasets",
+    "clean_channel",
+    "compound_channel",
+    "freeze_params",
+    "get_scale",
+    "get_scenario",
+    "jammer_channel",
+    "loss_burst_channel",
+    "periodic_loss_channel",
+    "random_loss_channel",
+    "register_scenario",
+    "repetition_seed",
+    "sample_channel_delays",
+    "scale_names",
+    "scenario_catalog",
+    "scenario_grid",
+    "scenario_names",
+    "wireless_channel",
+]

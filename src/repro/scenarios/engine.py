@@ -1,0 +1,378 @@
+"""Session engine: resolve a :class:`ScenarioSpec` into simulation runs.
+
+The engine owns every piece of shared, cacheable state the scenario layer
+needs:
+
+* the operator datasets, cached per *full* :class:`ExperimentScale` value
+  plus seed (not just the scale name, so custom scales never alias);
+* trained forecasters, cached per training identity (algorithm, record,
+  options, train fraction, scale, seed) — the fitted master is never
+  predicted on directly; every session gets a deep copy, because
+  forecasters may carry predict-time state (VARMA's residual window, or a
+  registered custom class);
+* finished :class:`SessionResult` objects, cached by the spec hash.
+
+All caches are guarded by locks so the :class:`~repro.scenarios.sweep.
+SweepExecutor` can call :meth:`SessionEngine.run` from worker threads.
+Determinism is by construction: every random draw is seeded from the spec
+hash and the repetition index, never from execution order, so a sweep
+produces bit-identical results with 1 or N workers.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.recovery import ForecoRecovery
+from ..core.simulation import RemoteControlSimulation, SimulationOutcome
+from ..errors import ConfigurationError
+from ..forecasting import make_forecaster
+from ..teleop import (
+    OperatorModel,
+    RemoteController,
+    experienced_operator,
+    inexperienced_operator,
+)
+from ..teleop.controller import CommandStream
+from ..wireless import (
+    ConsecutiveLossInjector,
+    GilbertElliottJammer,
+    InterferenceSource,
+    JammerConfig,
+    PeriodicLossInjector,
+    RandomLossInjector,
+    WirelessChannel,
+)
+from .spec import ChannelSpec, ExperimentScale, ScenarioSpec, get_scale
+
+
+# ------------------------------------------------------------------- datasets
+@dataclass
+class SharedDatasets:
+    """The two operator command streams every scenario starts from."""
+
+    experienced: CommandStream
+    inexperienced: CommandStream
+
+    @property
+    def n_joints(self) -> int:
+        """Command dimensionality (6 for the Niryo One)."""
+        return self.experienced.n_joints
+
+
+@lru_cache(maxsize=16)
+def _cached_datasets(scale: ExperimentScale, seed: int) -> SharedDatasets:
+    controller = RemoteController()
+    experienced = controller.stream_from_operator(
+        OperatorModel(profile=experienced_operator(), seed=seed),
+        n_repetitions=scale.train_repetitions,
+    )
+    inexperienced = controller.stream_from_operator(
+        OperatorModel(profile=inexperienced_operator(), seed=seed + 1),
+        n_repetitions=scale.test_repetitions,
+    )
+    return SharedDatasets(experienced=experienced, inexperienced=inexperienced)
+
+
+def build_datasets(scale: str | ExperimentScale = "ci", seed: int = 42) -> SharedDatasets:
+    """Build (or fetch from the in-process cache) the shared operator datasets.
+
+    The cache key is the *entire* scale value, so a custom
+    :class:`ExperimentScale` with a reused name still gets its own datasets.
+    """
+    return _cached_datasets(get_scale(scale), int(seed))
+
+
+# ------------------------------------------------------------------- channels
+def repetition_seed(spec: ScenarioSpec, repetition: int, stage: int = 0) -> int:
+    """Deterministic per-repetition RNG seed for the channel samplers.
+
+    Derived from the spec's *channel identity* (see
+    :meth:`ScenarioSpec.channel_identity`): distinct channels decorrelate,
+    while specs that differ only in recovery-side knobs (record length,
+    tolerance, fallback, …) replay the exact same delay trace.  Independent
+    of worker scheduling, so parallel sweeps reproduce serial ones exactly.
+    """
+    identity = json.dumps(spec.channel_identity(), sort_keys=True, separators=(",", ":"))
+    payload = f"{identity}::{int(repetition)}::{int(stage)}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:4], "big")
+
+
+def sample_channel_delays(
+    channel: ChannelSpec,
+    n_commands: int,
+    seed: int,
+    command_period_ms: float = 20.0,
+) -> np.ndarray:
+    """Sample one realisation of per-command delays (ms, ``inf`` = lost)."""
+    options = channel.options()
+    if channel.kind == "clean":
+        return np.full(n_commands, float(options.get("nominal_delay_ms", 1.0)))
+    if channel.kind == "wireless":
+        interference = InterferenceSource(
+            probability=float(options.pop("probability", 0.0)),
+            duration_slots=int(options.pop("duration_slots", 0)),
+        )
+        wireless = WirelessChannel(
+            n_robots=int(options.pop("n_robots", 5)),
+            interference=interference,
+            command_period_ms=command_period_ms,
+            seed=seed,
+            **options,
+        )
+        return wireless.sample_trace(n_commands).delays()
+    if channel.kind == "jammer":
+        jammer = GilbertElliottJammer(config=JammerConfig(**options), seed=seed)
+        return jammer.sample_trace(n_commands).delays()
+    if channel.kind == "loss-burst":
+        nominal = float(options.pop("nominal_delay_ms", 1.0))
+        injector = ConsecutiveLossInjector(seed=seed, **options)
+        return injector.to_trace(n_commands, nominal_delay_ms=nominal).delays()
+    if channel.kind == "periodic-loss":
+        nominal = float(options.pop("nominal_delay_ms", 1.0))
+        injector = PeriodicLossInjector(**options)
+        return injector.to_trace(n_commands, nominal_delay_ms=nominal).delays()
+    if channel.kind == "random-loss":
+        nominal = float(options.pop("nominal_delay_ms", 1.0))
+        injector = RandomLossInjector(seed=seed, **options)
+        return injector.to_trace(n_commands, nominal_delay_ms=nominal).delays()
+    if channel.kind == "compound":
+        stages = options.get("stages", ())
+        if not stages:
+            raise ConfigurationError("compound channel has no stages")
+        total = np.zeros(n_commands)
+        for index, stage in enumerate(stages):
+            total = total + sample_channel_delays(
+                stage, n_commands, seed + 9973 * (index + 1), command_period_ms
+            )
+        return total
+    raise ConfigurationError(f"unknown channel kind {channel.kind!r}")
+
+
+# -------------------------------------------------------------------- results
+@dataclass
+class SessionResult:
+    """Uniform per-scenario result row produced by the engine.
+
+    Scalar metric tuples hold one entry per repetition; ``outcome`` and
+    ``delays_ms`` keep the *last* repetition's full detail for trajectory
+    plots and transient analyses (Figs. 9/10).
+    """
+
+    spec: ScenarioSpec
+    spec_hash: str
+    n_commands: int
+    rmse_no_forecast_mm: tuple[float, ...]
+    rmse_foreco_mm: tuple[float, ...]
+    late_fraction: tuple[float, ...]
+    recovery_fraction: tuple[float, ...]
+    outcome: SimulationOutcome | None = field(repr=False, default=None)
+    delays_ms: np.ndarray | None = field(repr=False, default=None)
+
+    @property
+    def repetitions(self) -> int:
+        """Number of repetitions actually run."""
+        return len(self.rmse_foreco_mm)
+
+    @property
+    def mean_rmse_no_forecast_mm(self) -> float:
+        """Baseline trajectory RMSE averaged over repetitions."""
+        return float(np.mean(self.rmse_no_forecast_mm))
+
+    @property
+    def mean_rmse_foreco_mm(self) -> float:
+        """FoReCo trajectory RMSE averaged over repetitions."""
+        return float(np.mean(self.rmse_foreco_mm))
+
+    @property
+    def mean_late_fraction(self) -> float:
+        """Late/lost command share averaged over repetitions."""
+        return float(np.mean(self.late_fraction))
+
+    @property
+    def mean_recovery_fraction(self) -> float:
+        """Share of missing slots FoReCo filled, averaged over repetitions."""
+        return float(np.mean(self.recovery_fraction))
+
+    @property
+    def improvement_factor(self) -> float:
+        """Mean baseline RMSE over mean FoReCo RMSE."""
+        return self.mean_rmse_no_forecast_mm / max(self.mean_rmse_foreco_mm, 1e-9)
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary row (trajectories and raw delays excluded)."""
+        return {
+            "scenario": self.spec.name,
+            "spec_hash": self.spec_hash,
+            "channel": self.spec.channel.describe(),
+            "operator": self.spec.operator,
+            "scale": self.spec.scale.name,
+            "seed": self.spec.seed,
+            "repetitions": self.repetitions,
+            "n_commands": self.n_commands,
+            "rmse_no_forecast_mm": [float(v) for v in self.rmse_no_forecast_mm],
+            "rmse_foreco_mm": [float(v) for v in self.rmse_foreco_mm],
+            "mean_rmse_no_forecast_mm": self.mean_rmse_no_forecast_mm,
+            "mean_rmse_foreco_mm": self.mean_rmse_foreco_mm,
+            "improvement_factor": self.improvement_factor,
+            "mean_late_fraction": self.mean_late_fraction,
+            "mean_recovery_fraction": self.mean_recovery_fraction,
+        }
+
+
+# --------------------------------------------------------------------- engine
+class SessionEngine:
+    """Resolves scenario specs into simulation runs, with caching.
+
+    Parameters
+    ----------
+    cache_results:
+        Keep finished :class:`SessionResult` objects keyed by spec hash, so
+        re-running the same spec (e.g. across sweep rounds) is free.  The
+        forecaster and dataset caches are always on — they are pure
+        functions of the spec.
+    """
+
+    def __init__(self, cache_results: bool = True) -> None:
+        self.cache_results = bool(cache_results)
+        self._results: dict[str, SessionResult] = {}
+        self._forecasters: dict[tuple, object] = {}
+        self._results_lock = threading.Lock()
+        self._forecaster_lock = threading.Lock()
+        self._training_locks: dict[tuple, threading.Lock] = {}
+
+    # ------------------------------------------------------------- datasets
+    def datasets(self, spec: ScenarioSpec) -> SharedDatasets:
+        """The operator datasets this spec resolves to."""
+        return build_datasets(spec.scale, seed=spec.seed)
+
+    def test_commands(self, spec: ScenarioSpec) -> np.ndarray:
+        """The command stream replayed through the channel for this spec."""
+        datasets = self.datasets(spec)
+        seconds = spec.resolved_run_seconds
+        if spec.operator == "experienced":
+            return datasets.experienced.head_seconds(seconds).commands
+        if spec.operator == "inexperienced":
+            return datasets.inexperienced.head_seconds(seconds).commands
+        # "mix": an operator handover halfway through the run.
+        half = seconds / 2.0
+        first = datasets.experienced.head_seconds(half).commands
+        second = datasets.inexperienced.head_seconds(half).commands
+        return np.vstack([first, second])
+
+    # ----------------------------------------------------------- forecaster
+    def trained_forecaster(self, spec: ScenarioSpec):
+        """The fitted master forecaster for this spec's training identity.
+
+        Cached and never predicted on by the engine itself — sessions run
+        against deep copies (see :meth:`session_forecaster`) because
+        forecasters may carry predict-time state.  Training for distinct
+        identities proceeds in parallel; concurrent requests for the same
+        identity serialise on a per-key lock so the model is fitted once.
+        """
+        key = (spec.foreco.training_identity(), spec.scale, int(spec.seed))
+        with self._forecaster_lock:
+            forecaster = self._forecasters.get(key)
+            if forecaster is not None:
+                return forecaster
+            training_lock = self._training_locks.setdefault(key, threading.Lock())
+        with training_lock:
+            with self._forecaster_lock:
+                forecaster = self._forecasters.get(key)
+                if forecaster is not None:
+                    return forecaster
+            forecaster = make_forecaster(
+                spec.foreco.algorithm,
+                record=spec.foreco.record,
+                **spec.foreco.options(),
+            )
+            forecaster.fit(self.datasets(spec).experienced.commands)
+            with self._forecaster_lock:
+                self._forecasters[key] = forecaster
+            return forecaster
+
+    def session_forecaster(self, spec: ScenarioSpec):
+        """A private fitted forecaster for one session (deep copy of the master).
+
+        The copy makes every session start from pristine fitted state, so
+        stateful forecasters (VARMA's residual window, custom registered
+        classes) cannot leak state across repetitions, sessions or worker
+        threads — results stay independent of execution order.
+        """
+        return copy.deepcopy(self.trained_forecaster(spec))
+
+    def recovery(self, spec: ScenarioSpec) -> ForecoRecovery:
+        """A fresh recovery engine around a private copy of the trained forecaster."""
+        return ForecoRecovery(config=spec.foreco.to_config(), forecaster=self.session_forecaster(spec))
+
+    # ------------------------------------------------------------- sessions
+    def run(self, spec: ScenarioSpec) -> SessionResult:
+        """Run one scenario (all its repetitions) and return the result row."""
+        key = spec.spec_hash()
+        if self.cache_results:
+            with self._results_lock:
+                cached = self._results.get(key)
+            if cached is not None:
+                return cached
+
+        commands = self.test_commands(spec)
+        self.trained_forecaster(spec)  # ensure the master is fitted once
+        period_ms = spec.foreco.command_period_ms
+
+        rmse_baseline: list[float] = []
+        rmse_foreco: list[float] = []
+        late: list[float] = []
+        recovered: list[float] = []
+        outcome: SimulationOutcome | None = None
+        delays: np.ndarray | None = None
+        for repetition in range(spec.repetitions):
+            recovery = ForecoRecovery(
+                config=spec.foreco.to_config(), forecaster=self.session_forecaster(spec)
+            )
+            simulation = RemoteControlSimulation(
+                recovery, use_pid=spec.use_pid, fallback=spec.fallback
+            )
+            delays = sample_channel_delays(
+                spec.channel,
+                commands.shape[0],
+                seed=repetition_seed(spec, repetition),
+                command_period_ms=period_ms,
+            )
+            outcome = simulation.run(commands, delays)
+            rmse_baseline.append(outcome.rmse_no_forecast_mm)
+            rmse_foreco.append(outcome.rmse_foreco_mm)
+            late.append(outcome.late_fraction)
+            recovered.append(outcome.recovery_fraction)
+
+        result = SessionResult(
+            spec=spec,
+            spec_hash=key,
+            n_commands=int(commands.shape[0]),
+            rmse_no_forecast_mm=tuple(rmse_baseline),
+            rmse_foreco_mm=tuple(rmse_foreco),
+            late_fraction=tuple(late),
+            recovery_fraction=tuple(recovered),
+            outcome=outcome,
+            delays_ms=delays,
+        )
+        if self.cache_results:
+            with self._results_lock:
+                self._results.setdefault(key, result)
+        return result
+
+    def cached_result(self, spec: ScenarioSpec) -> SessionResult | None:
+        """The cached result for this spec, if any."""
+        with self._results_lock:
+            return self._results.get(spec.spec_hash())
+
+    def clear(self) -> None:
+        """Drop the session-result cache (forecaster cache is kept)."""
+        with self._results_lock:
+            self._results.clear()

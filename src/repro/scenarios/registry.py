@@ -1,0 +1,137 @@
+"""Named scenario presets.
+
+The registry maps human-friendly names to :class:`ScenarioSpec` values so
+experiments, examples and the CLI (``foreco-experiments --scenario jammer``)
+share one vocabulary of workloads.  Presets cover the paper's evaluation
+conditions plus harsher combinations used by the scaling roadmap:
+
+``clean``
+    Healthy channel, no losses — the control condition.
+``bursty-loss``
+    Controlled consecutive-loss bursts (the Fig. 9 condition).
+``jammer``
+    Gilbert–Elliott 2.4 GHz jammer with the PID controller in the loop
+    (the Fig. 10 condition).
+``congested-ap``
+    25 robots behind one access point with heavy interference (the worst
+    column of the Fig. 8 sweep).
+``jammer-congestion``
+    The jammer superposed on a congested access point — heterogeneous
+    interference the paper's single-cause scenarios do not cover.
+``operator-mix``
+    An operator handover mid-run (experienced → inexperienced) over a
+    moderately interfered channel.
+``random-loss``
+    Memoryless i.i.d. losses — the baseline the ablation benches compare
+    bursty conditions against.
+
+Use :func:`register_scenario` to add project-specific presets.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .spec import (
+    ScenarioSpec,
+    clean_channel,
+    compound_channel,
+    jammer_channel,
+    loss_burst_channel,
+    random_loss_channel,
+    wireless_channel,
+)
+
+_REGISTRY: dict[str, tuple[ScenarioSpec, str]] = {}
+
+#: Alternate spellings accepted by :func:`get_scenario`.
+_ALIASES: dict[str, str] = {
+    "jammer+congestion": "jammer-congestion",
+}
+
+
+def register_scenario(spec: ScenarioSpec, description: str = "", overwrite: bool = False) -> None:
+    """Register a preset under ``spec.name``.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the name is taken
+    and ``overwrite`` is false.
+    """
+    name = spec.name
+    if not name or name == "custom":
+        raise ConfigurationError("a registered scenario needs a distinctive name")
+    if name in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"scenario {name!r} is already registered")
+    _REGISTRY[name] = (spec, description)
+
+
+def get_scenario(name: str, **overrides) -> ScenarioSpec:
+    """Fetch a preset by name, optionally overriding top-level fields.
+
+    ``scale`` may be passed as a name ("ci", "standard", "full"); other
+    overrides are :class:`ScenarioSpec` fields, e.g. ``seed=7`` or
+    ``repetitions=10``.
+    """
+    key = _ALIASES.get(name, name)
+    try:
+        spec, _ = _REGISTRY[key]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        ) from exc
+    return spec.with_(**overrides) if overrides else spec
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of the registered presets."""
+    return sorted(_REGISTRY)
+
+
+def scenario_catalog() -> dict[str, str]:
+    """Mapping of preset name to its one-line description."""
+    return {name: description for name, (_, description) in sorted(_REGISTRY.items())}
+
+
+def _register_builtins() -> None:
+    register_scenario(
+        ScenarioSpec(name="clean", channel=clean_channel()),
+        "healthy channel, no losses (control condition)",
+    )
+    register_scenario(
+        ScenarioSpec(name="bursty-loss", channel=loss_burst_channel(burst_length=10)),
+        "controlled consecutive-loss bursts (Fig. 9 condition)",
+    )
+    register_scenario(
+        ScenarioSpec(name="jammer", channel=jammer_channel(), use_pid=True),
+        "Gilbert-Elliott 2.4 GHz jammer with the PID in the loop (Fig. 10)",
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="congested-ap",
+            channel=wireless_channel(n_robots=25, probability=0.05, duration_slots=100),
+        ),
+        "25 robots behind one AP with heavy interference (worst Fig. 8 cell)",
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="jammer-congestion",
+            channel=compound_channel(
+                wireless_channel(n_robots=15, probability=0.025, duration_slots=50),
+                jammer_channel(),
+            ),
+        ),
+        "jammer superposed on a congested AP (heterogeneous interference)",
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="operator-mix",
+            operator="mix",
+            channel=wireless_channel(n_robots=15, probability=0.025, duration_slots=50),
+        ),
+        "operator handover mid-run over a moderately interfered channel",
+    )
+    register_scenario(
+        ScenarioSpec(name="random-loss", channel=random_loss_channel(loss_probability=0.1)),
+        "memoryless i.i.d. command losses (ablation baseline)",
+    )
+
+
+_register_builtins()

@@ -38,7 +38,6 @@ import numpy as np
 
 from .._validation import ensure_int, ensure_positive, ensure_probability, rng_from
 from ..des.jackson import TransportNetworkModel
-from ..errors import ChannelError
 from .bianchi import DcfParameters, InterferenceSource
 from .delay_model import Ieee80211DelayModel
 

@@ -127,3 +127,32 @@ def test_runner_registry_and_report():
     assert "Fig. 6" in report
     with pytest.raises(SystemExit):
         run_experiments(["fig99"], scale="ci", seed=42)
+    with pytest.raises(SystemExit):
+        run_experiments([], scale="ci", seed=42)  # nothing selected
+
+
+def test_runner_scenarios_and_json_format():
+    import json
+
+    report = run_experiments(
+        ["fig6"], scale="ci", seed=42, jobs=2, fmt="json", scenarios=["bursty-loss"]
+    )
+    document = json.loads(report)
+    assert document["experiments"]["fig6"]["experiment"] == "fig6"
+    rows = document["scenarios"]
+    assert len(rows) == 1 and rows[0]["scenario"] == "bursty-loss"
+    assert rows[0]["mean_rmse_foreco_mm"] > 0.0
+    # Text rendering of a scenario-only invocation.
+    text = run_experiments([], scale="ci", seed=42, scenarios=["bursty-loss"])
+    assert "scenario presets" in text and "bursty-loss" in text
+
+
+def test_fig8_parallel_jobs_match_serial():
+    serial = fig8_simulation_heatmap.run(
+        "ci", robot_counts=(5,), probabilities=(0.01, 0.05), durations=(10, 100)
+    )
+    parallel = fig8_simulation_heatmap.run(
+        "ci", robot_counts=(5,), probabilities=(0.01, 0.05), durations=(10, 100), jobs=4
+    )
+    assert np.array_equal(serial.no_forecast[5].matrix(), parallel.no_forecast[5].matrix())
+    assert np.array_equal(serial.foreco[5].matrix(), parallel.foreco[5].matrix())

@@ -1,0 +1,234 @@
+"""Tests for the session engine (caching, channels) and the sweep executor
+(grid expansion, parallel determinism)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    ExperimentScale,
+    ScenarioSpec,
+    SessionEngine,
+    SweepExecutor,
+    build_datasets,
+    clean_channel,
+    compound_channel,
+    get_scenario,
+    jammer_channel,
+    loss_burst_channel,
+    periodic_loss_channel,
+    random_loss_channel,
+    repetition_seed,
+    sample_channel_delays,
+    scenario_grid,
+    wireless_channel,
+)
+
+#: A short run so the engine tests stay fast.
+RUN_SECONDS = 8.0
+
+
+def _spec(channel, **fields) -> ScenarioSpec:
+    fields.setdefault("run_seconds", RUN_SECONDS)
+    return ScenarioSpec(name="test", channel=channel, **fields)
+
+
+# ---------------------------------------------------------------- datasets
+def test_dataset_cache_keyed_by_full_scale():
+    """A custom scale reusing a registered name must not alias its cache slot."""
+    ci = build_datasets("ci", seed=11)
+    custom_scale = ExperimentScale(
+        name="ci",  # same name, different sizing
+        train_repetitions=3,
+        test_repetitions=1,
+        heatmap_repetitions=1,
+        run_seconds=5.0,
+        forecast_windows_ms=(20,),
+        forecast_evaluations=5,
+        seq2seq_units=(4, 2),
+        seq2seq_epochs=1,
+    )
+    custom = build_datasets(custom_scale, seed=11)
+    assert len(custom.experienced) < len(ci.experienced)
+    assert build_datasets("ci", seed=11) is ci  # caching still effective
+
+
+# ---------------------------------------------------------------- channels
+def test_sample_channel_delays_kinds():
+    n = 400
+    clean = sample_channel_delays(clean_channel(nominal_delay_ms=2.5), n, seed=1)
+    assert clean.shape == (n,)
+    assert np.all(clean == 2.5)
+
+    bursts = sample_channel_delays(loss_burst_channel(burst_length=10, n_bursts=3), n, seed=1)
+    assert np.sum(~np.isfinite(bursts)) == 30
+
+    periodic = sample_channel_delays(periodic_loss_channel(period=100, burst_length=5), n, seed=1)
+    assert np.sum(~np.isfinite(periodic)) == 20
+
+    random_loss = sample_channel_delays(random_loss_channel(loss_probability=0.5), n, seed=1)
+    lost_share = np.mean(~np.isfinite(random_loss))
+    assert 0.3 < lost_share < 0.7
+
+    jammed = sample_channel_delays(jammer_channel(), n, seed=1)
+    assert np.any(~np.isfinite(jammed))
+
+    wireless = sample_channel_delays(
+        wireless_channel(n_robots=15, probability=0.05, duration_slots=100), n, seed=1
+    )
+    assert np.all(wireless[np.isfinite(wireless)] >= 0.0)
+
+
+def test_compound_channel_superposes_stages():
+    n = 400
+    stage_a = loss_burst_channel(burst_length=10, n_bursts=2, nominal_delay_ms=1.0)
+    stage_b = clean_channel(nominal_delay_ms=3.0)
+    compound = compound_channel(stage_a, stage_b)
+    delays = sample_channel_delays(compound, n, seed=5)
+    finite = delays[np.isfinite(delays)]
+    # Delays add up: surviving commands carry both stages' delay.
+    assert np.allclose(finite, 4.0)
+    # Losses union: the bursty stage's losses survive the superposition.
+    assert np.sum(~np.isfinite(delays)) == 20
+
+
+def test_repetition_seed_decorrelates_and_is_stable():
+    spec = _spec(jammer_channel())
+    assert repetition_seed(spec, 0) == repetition_seed(spec, 0)
+    assert repetition_seed(spec, 0) != repetition_seed(spec, 1)
+    assert repetition_seed(spec, 0) != repetition_seed(spec.with_(seed=7), 0)
+    # Recovery-side knobs leave the channel realisation untouched.
+    assert repetition_seed(spec, 0) == repetition_seed(spec.with_foreco(tolerance_ms=40.0), 0)
+
+
+# ------------------------------------------------------------------ engine
+def test_engine_caches_by_spec_hash():
+    engine = SessionEngine()
+    spec = _spec(loss_burst_channel(burst_length=5))
+    first = engine.run(spec)
+    # Identical physics under a different label hits the cache.
+    second = engine.run(spec.with_(name="relabelled"))
+    assert second is first
+    assert engine.cached_result(spec) is first
+    engine.clear()
+    assert engine.cached_result(spec) is None
+    # With caching disabled every run is fresh but still deterministic.
+    uncached = SessionEngine(cache_results=False)
+    a = uncached.run(spec)
+    b = uncached.run(spec)
+    assert a is not b
+    assert a.rmse_foreco_mm == b.rmse_foreco_mm
+
+
+def test_engine_shares_trained_forecaster():
+    engine = SessionEngine()
+    spec = _spec(loss_burst_channel(burst_length=5))
+    forecaster = engine.trained_forecaster(spec)
+    # Channel and recovery-only variations reuse the master; training-relevant
+    # FoReCo variations retrain.
+    assert engine.trained_forecaster(spec.with_channel(burst_length=25)) is forecaster
+    assert engine.trained_forecaster(spec.with_foreco(tolerance_ms=40.0)) is forecaster
+    assert engine.trained_forecaster(spec.with_foreco(record=3)) is not forecaster
+    # Sessions never predict on the master: they get private fitted copies.
+    private = engine.session_forecaster(spec)
+    assert private is not forecaster and private.is_fitted
+
+
+def test_engine_stateful_forecaster_stays_deterministic():
+    """VARMA carries predict-time state; per-session copies must isolate it."""
+    engine = SessionEngine(cache_results=False)
+    # The periodic channel is identical in every repetition, so any RMSE
+    # difference between reps could only come from leaked forecaster state.
+    spec = _spec(periodic_loss_channel(period=100, burst_length=10), repetitions=2).with_foreco(
+        algorithm="varma", record=5
+    )
+    first = engine.run(spec)
+    second = engine.run(spec)
+    assert first.rmse_foreco_mm == second.rmse_foreco_mm
+    assert first.rmse_foreco_mm[0] == first.rmse_foreco_mm[1]
+
+
+def test_engine_session_result_shape():
+    engine = SessionEngine()
+    result = engine.run(_spec(loss_burst_channel(burst_length=10), repetitions=2))
+    assert result.repetitions == 2
+    assert len(result.rmse_no_forecast_mm) == 2
+    assert result.n_commands == int(RUN_SECONDS * 50)  # 50 Hz command rate
+    assert result.mean_rmse_foreco_mm > 0.0
+    assert result.improvement_factor > 0.0
+    assert result.outcome is not None
+    assert result.delays_ms is not None and result.delays_ms.shape == (result.n_commands,)
+    row = result.to_dict()
+    assert row["repetitions"] == 2
+    assert row["mean_rmse_foreco_mm"] == result.mean_rmse_foreco_mm
+
+
+def test_engine_operator_mix():
+    engine = SessionEngine()
+    result = engine.run(_spec(clean_channel(), operator="mix", run_seconds=10.0))
+    # The handover run still has the full command budget and executes cleanly.
+    assert result.n_commands == 500
+    assert result.mean_late_fraction == 0.0
+
+
+# ------------------------------------------------------------------- sweep
+def test_scenario_grid_order_and_axes():
+    base = _spec(wireless_channel())
+    specs = scenario_grid(
+        base, {"channel.n_robots": (5, 25), "seed": (1, 2), "foreco.record": (2, 10)}
+    )
+    assert len(specs) == 8
+    # Insertion order with the last axis fastest.
+    assert [s.foreco.record for s in specs[:2]] == [2, 10]
+    assert specs[0].spec_hash() != specs[1].spec_hash()
+    assert scenario_grid(base, {}) == [base]
+    with pytest.raises(ConfigurationError):
+        scenario_grid(base, {"seed": ()})
+
+
+def test_sweep_executor_parallel_matches_serial():
+    """Same specs + seeds -> bit-identical SweepResult with 1 and 4 workers."""
+    base = _spec(wireless_channel(), repetitions=2)
+    axes = {"channel.n_robots": (5, 15), "channel.probability": (0.01, 0.05)}
+    serial = SweepExecutor(jobs=1).run_grid(base, axes)
+    parallel = SweepExecutor(jobs=4).run_grid(base, axes)
+    assert len(serial) == len(parallel) == 4
+    for row_s, row_p in zip(serial, parallel):
+        assert row_s.spec_hash == row_p.spec_hash
+        assert row_s.rmse_no_forecast_mm == row_p.rmse_no_forecast_mm
+        assert row_s.rmse_foreco_mm == row_p.rmse_foreco_mm
+        assert row_s.late_fraction == row_p.late_fraction
+        assert row_s.recovery_fraction == row_p.recovery_fraction
+
+
+def test_sweep_result_table_json_and_selectors():
+    sweep = SweepExecutor(jobs=2).run(
+        [
+            _spec(clean_channel()),
+            _spec(loss_burst_channel(burst_length=25, n_bursts=2)),
+        ]
+    )
+    table = sweep.to_table()
+    assert "scenario" in table and "FoReCo" in table
+    records = sweep.to_records()
+    assert len(records) == 2 and records[0]["scenario"] == "test"
+    assert "rmse_foreco_mm" in sweep.to_json()
+    worst = sweep.worst(metric="mean_rmse_no_forecast_mm")
+    assert worst.spec.channel.kind == "loss-burst"
+    assert sweep.best(metric="mean_rmse_no_forecast_mm").spec.channel.kind == "clean"
+    only_clean = sweep.filter(lambda row: row.spec.channel.kind == "clean")
+    assert len(only_clean) == 1
+    assert sweep.metric("improvement_factor") == [
+        row.improvement_factor for row in sweep
+    ]
+
+
+def test_registry_presets_run_end_to_end():
+    engine = SessionEngine()
+    for name in ("jammer-congestion", "random-loss"):
+        spec = get_scenario(name).with_(run_seconds=RUN_SECONDS)
+        result = engine.run(spec)
+        assert result.mean_rmse_foreco_mm > 0.0
+        assert 0.0 <= result.mean_late_fraction <= 1.0

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.des.jackson import TransportNetworkModel
-from repro.errors import ChannelError
 from repro.wireless import InterferenceSource, WirelessChannel
 from repro.wireless.channel import ChannelSample, CommandDelayTrace
 
