@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Generate the docs pages that are derived from code.
+
+Currently one page: ``docs/presets.md``, the scenario-preset reference table
+rendered from :mod:`repro.scenarios.registry` plus the sizing-scale and
+forecaster tables.  Run from the repository root::
+
+    PYTHONPATH=src python scripts/generate_docs.py            # (re)write
+    PYTHONPATH=src python scripts/generate_docs.py --check    # CI drift gate
+
+``--check`` exits non-zero when the checked-in page differs from what the
+registry would generate, so the docs can never silently drift from the code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.forecasting import forecaster_names, make_forecaster
+from repro.scenarios import get_scale, get_scenario, scale_names, scenario_catalog
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PRESETS_PAGE = REPO_ROOT / "docs" / "presets.md"
+
+HEADER = """\
+# Scenario preset reference
+
+<!-- GENERATED PAGE - edit scripts/generate_docs.py or the registries it
+     reads, then run: PYTHONPATH=src python scripts/generate_docs.py -->
+
+Named workloads registered in `repro.scenarios.registry`.  Fetch one with
+`get_scenario(name)` and derive variants with `.with_(...)`,
+`.with_channel(...)` and `.with_foreco(...)`; register project-specific
+presets with `register_scenario`.
+"""
+
+
+def _preset_table() -> list[str]:
+    lines = [
+        "| Preset | Channel | Operator | PID | Description |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for name, description in scenario_catalog().items():
+        spec = get_scenario(name)
+        channel = spec.channel.describe().replace("|", "\\|")
+        lines.append(
+            f"| `{name}` | `{channel}` | {spec.operator} | "
+            f"{'yes' if spec.use_pid else 'no'} | {description} |"
+        )
+    return lines
+
+
+def _scale_table() -> list[str]:
+    lines = [
+        "| Scale | Train reps | Test reps | Heatmap reps | Run (s) | Fig. 7 windows (ms) |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    for name in scale_names():
+        scale = get_scale(name)
+        windows = ", ".join(str(w) for w in scale.forecast_windows_ms)
+        lines.append(
+            f"| `{scale.name}` | {scale.train_repetitions} | {scale.test_repetitions} | "
+            f"{scale.heatmap_repetitions} | {scale.run_seconds:g} | {windows} |"
+        )
+    return lines
+
+
+def _forecaster_table() -> list[str]:
+    lines = [
+        "| Name | Class | Batched kernel |",
+        "| --- | --- | --- |",
+    ]
+    for name in forecaster_names():
+        try:
+            forecaster = make_forecaster(name, record=2)
+        except Exception:  # pragma: no cover - runtime-registered class quirks
+            continue
+        if not type(forecaster).__module__.startswith("repro.forecasting"):
+            # Runtime-registered project forecasters are not part of the
+            # shipped reference (and would make the generated page depend on
+            # what happens to be registered in this process).
+            continue
+        batched = "yes" if forecaster.supports_batch_predict else "no (serial fallback)"
+        lines.append(f"| `{name}` | `{type(forecaster).__name__}` | {batched} |")
+    return lines
+
+
+def render() -> str:
+    """The full generated page as one string."""
+    parts = [HEADER]
+    parts.append("## Presets\n")
+    parts.extend(_preset_table())
+    parts.append("\nA `compound[...]` channel superposes stages: a command traverses")
+    parts.append("every stage, delays add up, and it is lost if any stage loses it.\n")
+    parts.append("## Sizing scales\n")
+    parts.extend(_scale_table())
+    parts.append("\n`full` approaches the paper's sweep sizes; `ci` keeps every")
+    parts.append("experiment in the seconds range.  `seq2seq` layer sizes and epochs")
+    parts.append("also scale (paper: 200/30 units at full scale).\n")
+    parts.append("## Forecasting algorithms\n")
+    parts.extend(_forecaster_table())
+    parts.append(
+        "\nAll registry names are accepted by `ScenarioSpec.foreco.algorithm` and"
+    )
+    parts.append("`make_forecaster`; add custom algorithms with `register_forecaster`.")
+    return "\n".join(parts) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the checked-in page matches the registries (exit 1 on drift)",
+    )
+    args = parser.parse_args(argv)
+    content = render()
+    if args.check:
+        on_disk = PRESETS_PAGE.read_text(encoding="utf-8") if PRESETS_PAGE.exists() else ""
+        if on_disk != content:
+            sys.stderr.write(
+                "docs/presets.md is out of date - run "
+                "'PYTHONPATH=src python scripts/generate_docs.py'\n"
+            )
+            return 1
+        print("docs/presets.md is up to date")
+        return 0
+    PRESETS_PAGE.write_text(content, encoding="utf-8")
+    print(f"wrote {PRESETS_PAGE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,10 +21,19 @@ The building blocks follow Fig. 3 of the paper:
 from .config import ForecoConfig
 from .dataset import CommandDataset, DatasetQualityReport, TrainTestSplit
 from .pipeline import PipelineTimings, TrainingPipeline, TrainingReport
-from .recovery import ForecoRecovery, RecoveryDecision, RecoveryStats
-from .simulation import RemoteControlSimulation, SimulationOutcome, compare_baseline_and_foreco
+from .recovery import BatchedRecoveryResult, ForecoRecovery, RecoveryDecision, RecoveryStats
+from .simulation import (
+    BatchedRemoteControlSimulation,
+    RemoteControlSimulation,
+    SimulationOutcome,
+    baseline_target_indices,
+    compare_baseline_and_foreco,
+)
 
 __all__ = [
+    "BatchedRecoveryResult",
+    "BatchedRemoteControlSimulation",
+    "baseline_target_indices",
     "ForecoConfig",
     "CommandDataset",
     "DatasetQualityReport",

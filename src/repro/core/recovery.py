@@ -45,6 +45,30 @@ class RecoveryDecision:
 
 
 @dataclass
+class BatchedRecoveryResult:
+    """Output of :meth:`ForecoRecovery.process_stream_batch`.
+
+    Attributes
+    ----------
+    executed:
+        ``(B, n, d)`` — per-repetition executed commands (real or forecast),
+        row-for-row bit-identical to ``B`` serial :meth:`ForecoRecovery.
+        process_stream` runs.
+    on_time:
+        ``(B, n)`` boolean — which commands met the ``Ω + τ`` deadline.
+    forecasted:
+        ``(B, n)`` boolean — which missing slots were filled by a forecast.
+    stats:
+        One :class:`RecoveryStats` per repetition.
+    """
+
+    executed: np.ndarray
+    on_time: np.ndarray
+    forecasted: np.ndarray
+    stats: "list[RecoveryStats]"
+
+
+@dataclass
 class RecoveryStats:
     """Aggregate statistics of a recovery run."""
 
@@ -220,3 +244,101 @@ class ForecoRecovery:
             decision = self.process_slot(commands[index], float(delays_ms[index]))
             executed[index] = decision.executed_command
         return executed
+
+    def process_stream_batch(
+        self, commands: np.ndarray, delays_ms: np.ndarray
+    ) -> BatchedRecoveryResult:
+        """Process ``B`` independent realisations of one command stream at once.
+
+        This is the vectorized core of the batched session kernel: all ``B``
+        repetitions share the command stream but experience different channel
+        delays, so their recovery state machines can advance slot by slot in
+        lockstep ``(B, ...)`` arrays — one Python iteration per slot instead
+        of one per slot *per repetition*.
+
+        Parameters
+        ----------
+        commands:
+            The defined command stream, shape ``(n, d)``.
+        delays_ms:
+            Per-repetition end-to-end delays, shape ``(B, n)`` (``inf`` marks
+            lost commands).  A 1-D array is treated as ``B = 1``.
+
+        Returns
+        -------
+        BatchedRecoveryResult
+            Whose ``executed[b]`` is bit-identical to
+            ``process_stream(commands, delays_ms[b])`` on a fresh recovery
+            engine, provided the forecaster honours
+            :attr:`~repro.forecasting.Forecaster.supports_batch_predict`.
+
+        Notes
+        -----
+        Unlike :meth:`process_stream` this method keeps no per-slot dataset
+        and leaves the instance's serial state (``dataset``, ``stats``)
+        untouched; all bookkeeping is returned in the result object.
+        """
+        commands = np.asarray(commands, dtype=float)
+        delays_ms = np.asarray(delays_ms, dtype=float)
+        if delays_ms.ndim == 1:
+            delays_ms = delays_ms[None, :]
+        if commands.ndim != 2 or delays_ms.ndim != 2 or commands.shape[0] != delays_ms.shape[1]:
+            raise DimensionError("commands (n, d) and delays_ms (B, n) lengths must match")
+        n_batch, n_slots = delays_ms.shape
+        n_joints = commands.shape[1]
+        record = self.config.record
+        max_step = self.config.max_step_rad
+        oracle = self.config.feedback == "oracle"
+        model_ready = self.forecaster.is_fitted
+
+        on_time = np.isfinite(delays_ms) & (delays_ms <= self.config.deadline_ms)
+        executed = np.empty((n_batch, n_slots, n_joints))
+        forecasted = np.zeros((n_batch, n_slots), dtype=bool)
+
+        # Rolling effective-command window per repetition, seeded with the
+        # first command exactly like the serial path; ``filled`` tracks the
+        # serial history length min(1 + slot, record), which gates forecasts.
+        history = np.zeros((n_batch, record, n_joints))
+        history[:, -1, :] = commands[0]
+        filled = 1
+
+        for slot in range(n_slots):
+            command = commands[slot]
+            missing = ~on_time[:, slot]
+            slot_executed = np.broadcast_to(command, (n_batch, n_joints)).copy()
+            if missing.any():
+                if model_ready and filled >= record:
+                    forecasts = self.forecaster.predict_next_batch(history[missing])
+                    if max_step is not None:
+                        previous = history[missing, -1, :]
+                        step = np.clip(forecasts - previous, -max_step, max_step)
+                        forecasts = previous + step
+                    slot_executed[missing] = forecasts
+                    forecasted[missing, slot] = True
+                else:
+                    # Not enough history yet: repeat the previous effective
+                    # command (the robot's native fallback behaviour).
+                    slot_executed[missing] = history[missing, -1, :]
+            executed[:, slot, :] = slot_executed
+            feedback = slot_executed
+            if oracle:
+                feedback = np.where(missing[:, None], command, slot_executed)
+            if record > 1:
+                history[:, :-1, :] = history[:, 1:, :]
+            history[:, -1, :] = feedback
+            filled = min(filled + 1, record)
+
+        stats = []
+        for index in range(n_batch):
+            n_on_time = int(on_time[index].sum())
+            stats.append(
+                RecoveryStats(
+                    n_slots=n_slots,
+                    n_on_time=n_on_time,
+                    n_missing=n_slots - n_on_time,
+                    n_forecasted=int(forecasted[index].sum()),
+                )
+            )
+        return BatchedRecoveryResult(
+            executed=executed, on_time=on_time, forecasted=forecasted, stats=stats
+        )

@@ -66,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42, help="random seed (default: 42)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker threads for sweep-style experiments (default: 1)")
+    parser.add_argument("--backend", default="thread", choices=["thread", "process"],
+                        help="--scenario sweep backend: shared-cache threads or "
+                        "multi-core worker processes (default: thread)")
     parser.add_argument(
         "--scenario",
         action="append",
@@ -88,6 +91,7 @@ def run_experiments(
     jobs: int = 1,
     fmt: str = "text",
     scenarios: list[str] | None = None,
+    backend: str = "thread",
 ) -> str:
     """Run the selected experiments/scenarios and return the combined report."""
     if any(name == "all" for name in names):
@@ -108,7 +112,7 @@ def run_experiments(
             specs = [get_scenario(name, scale=scale, seed=seed) for name in scenarios]
         except ConfigurationError as exc:
             raise SystemExit(str(exc)) from exc
-        sweep = SweepExecutor(jobs=jobs).run(specs)
+        sweep = SweepExecutor(jobs=jobs, backend=backend).run(specs)
 
     if fmt == "json":
         document: dict = {
@@ -147,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
         jobs=args.jobs,
         fmt=args.fmt,
         scenarios=args.scenario,
+        backend=args.backend,
     )
     sys.stdout.write(report)
     if args.output:

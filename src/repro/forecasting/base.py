@@ -68,10 +68,33 @@ def sliding_windows(commands: np.ndarray, record: int) -> tuple[np.ndarray, np.n
 
 
 class Forecaster(abc.ABC):
-    """Abstract one-step-ahead forecaster over ``R``-command histories."""
+    """Abstract one-step-ahead forecaster over ``R``-command histories.
+
+    Parameters
+    ----------
+    record:
+        ``R`` — the number of most recent commands a forecast is computed
+        from (the paper's history window).
+
+    Notes
+    -----
+    Subclasses implement ``_fit`` and ``_predict_next``; they may also
+    override ``_predict_next_batch`` with a vectorized kernel and set
+    :attr:`supports_batch_predict` once they honour its contract (see
+    :meth:`predict_next_batch`).
+    """
 
     #: Registry name; subclasses override it.
     name = "forecaster"
+
+    #: Contract flag for the batched session kernel.  ``True`` promises that
+    #: :meth:`predict_next_batch` called on ONE shared instance returns, for
+    #: every row, exactly (bit-for-bit) what :meth:`predict_next` would
+    #: return on an independent, freshly deep-copied instance fed the same
+    #: history.  Stateless predictors satisfy this trivially; predictors with
+    #: mutable predict-time state must either vectorize that state per row or
+    #: leave the flag ``False`` so the engine falls back to the serial path.
+    supports_batch_predict = False
 
     def __init__(self, record: int = 5) -> None:
         self.record = ensure_int("record", record, minimum=1)
@@ -86,6 +109,17 @@ class Forecaster(abc.ABC):
     @abc.abstractmethod
     def _predict_next(self, history: np.ndarray) -> np.ndarray:
         """Algorithm-specific one-step forecast from an ``(record, d)`` history."""
+
+    def _predict_next_batch(self, windows: np.ndarray) -> np.ndarray:
+        """Algorithm-specific batched forecast from ``(B, record, d)`` windows.
+
+        The default applies :meth:`_predict_next` row by row on this very
+        instance; vectorized subclasses override it with a stacked kernel
+        whose rows are bit-identical to the serial one.
+        """
+        return np.stack(
+            [np.asarray(self._predict_next(window), dtype=float).ravel() for window in windows]
+        )
 
     # ------------------------------------------------------------- template
     def fit(self, commands: np.ndarray) -> "Forecaster":
@@ -119,6 +153,53 @@ class Forecaster(abc.ABC):
             )
         window = history[-self.record :]
         return np.asarray(self._predict_next(window), dtype=float).ravel()
+
+    def predict_next_batch(self, histories: np.ndarray) -> np.ndarray:
+        """Forecast the next command for ``B`` independent histories at once.
+
+        This is the kernel the batched session engine drives: one call per
+        slot instead of one Python call per slot *per repetition*.
+
+        Parameters
+        ----------
+        histories:
+            Array of shape ``(B, n_history, d)`` stacking one history window
+            per repetition.  As with :meth:`predict_next`, windows longer
+            than ``record`` are truncated to the most recent ``record``
+            commands; shorter windows are rejected.
+
+        Returns
+        -------
+        numpy.ndarray of shape ``(B, d)``
+            One forecast per row.  When :attr:`supports_batch_predict` is
+            true, row ``b`` is bit-identical to
+            ``predict_next(histories[b])`` on a fresh copy of this
+            forecaster, which is what makes the batched simulation an exact
+            replacement for the serial repetition loop.
+        """
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before predicting")
+        histories = np.asarray(histories, dtype=float)
+        if histories.ndim != 3:
+            raise DimensionError(
+                f"histories must have shape (B, n_history, d), got {histories.shape}"
+            )
+        if self._n_joints is not None and histories.shape[2] != self._n_joints:
+            raise DimensionError(
+                f"histories have {histories.shape[2]} joints but the model was trained "
+                f"with {self._n_joints}"
+            )
+        if histories.shape[1] < self.record:
+            raise DimensionError(
+                f"histories must contain at least record={self.record} commands, "
+                f"got {histories.shape[1]}"
+            )
+        windows = np.ascontiguousarray(histories[:, -self.record :, :])
+        if windows.shape[0] == 0:
+            return np.empty((0, windows.shape[2]))
+        return np.asarray(self._predict_next_batch(windows), dtype=float).reshape(
+            windows.shape[0], windows.shape[2]
+        )
 
     def forecast_horizon(self, history: np.ndarray, steps: int) -> ForecastResult:
         """Iterate the one-step forecast ``steps`` times, feeding forecasts back.

@@ -25,6 +25,12 @@ class Seq2SeqForecaster(Forecaster):
     """LSTM encoder–decoder forecaster (paper §IV-B, "seq2seq")."""
 
     name = "seq2seq"
+    # The forward pass is pure (no predict-time state), so a shared instance
+    # is batch-safe.  Unlike MA/VAR there is no vectorized kernel: stacking
+    # the LSTM matmuls across repetitions would route through BLAS gemm,
+    # whose reduction order depends on the batch size and would break the
+    # bit-identity contract — so the batch runs one forward pass per row.
+    supports_batch_predict = True
 
     def __init__(
         self,
@@ -75,6 +81,10 @@ class Seq2SeqForecaster(Forecaster):
     def _predict_next(self, history: np.ndarray) -> np.ndarray:
         assert self.model is not None  # guaranteed by Forecaster.fit
         return self.model.predict(history)
+
+    def _predict_next_batch(self, windows: np.ndarray) -> np.ndarray:
+        assert self.model is not None  # guaranteed by Forecaster.fit
+        return self.model.predict_batch(windows)
 
     @property
     def n_parameters(self) -> int:

@@ -27,6 +27,7 @@ class ExponentialSmoothingForecaster(Forecaster):
     """Damped Holt (double exponential) smoothing per joint."""
 
     name = "ses"
+    supports_batch_predict = True
 
     def __init__(
         self,
@@ -78,3 +79,17 @@ class ExponentialSmoothingForecaster(Forecaster):
 
     def _predict_next(self, history: np.ndarray) -> np.ndarray:
         return self._smooth(history, self.alpha, self.beta)
+
+    def _predict_next_batch(self, windows: np.ndarray) -> np.ndarray:
+        # The Holt recursion is purely elementwise, so running it over the
+        # stacked (B, record, d) windows advances every repetition in
+        # lockstep while producing bit-identical rows to the serial version.
+        alpha, beta, phi = self.alpha, self.beta, self.damping
+        level = windows[:, 0].astype(float).copy()
+        trend = np.zeros_like(level)
+        for step in range(1, windows.shape[1]):
+            command = windows[:, step]
+            previous_level = level
+            level = alpha * command + (1.0 - alpha) * (level + phi * trend)
+            trend = beta * (level - previous_level) + (1.0 - beta) * phi * trend
+        return level + phi * trend

@@ -36,6 +36,7 @@ class VarForecaster(Forecaster):
     """OLS-trained vector autoregression of order ``R``."""
 
     name = "var"
+    supports_batch_predict = True
 
     def __init__(self, record: int = 5, ridge: float = 0.03) -> None:
         super().__init__(record=record)
@@ -62,11 +63,25 @@ class VarForecaster(Forecaster):
         self.coefficients = solution[1:]
 
     # ------------------------------------------------------------- predict
+    #
+    # Prediction goes through np.einsum rather than BLAS ``@``: BLAS picks
+    # different kernels (and hence different floating-point reduction orders)
+    # for gemv, single-row gemm and multi-row gemm, so a batched matmul is
+    # not bit-identical to its per-row application.  einsum reduces over the
+    # feature axis in a fixed sequential order regardless of the batch size,
+    # which is what lets the batched session kernel reproduce the serial
+    # repetition loop exactly.
     def _predict_next(self, history: np.ndarray) -> np.ndarray:
         if self.coefficients is None or self.intercept is None:
             raise NotFittedError("VarForecaster has no fitted coefficients")
-        features = history.reshape(-1)
-        return self.intercept + features @ self.coefficients
+        features = np.ascontiguousarray(history).reshape(-1)
+        return self.intercept + np.einsum("f,fj->j", features, self.coefficients)
+
+    def _predict_next_batch(self, windows: np.ndarray) -> np.ndarray:
+        if self.coefficients is None or self.intercept is None:
+            raise NotFittedError("VarForecaster has no fitted coefficients")
+        features = windows.reshape(windows.shape[0], -1)
+        return self.intercept + np.einsum("bf,fj->bj", features, self.coefficients)
 
     # ------------------------------------------------------------ insights
     @property

@@ -30,6 +30,14 @@ class VarmaForecaster(Forecaster):
     """Two-stage VARMA(R, q) forecaster built on top of the OLS VAR."""
 
     name = "varma"
+    # The predict-time state (_recent_residuals) only ever accumulates the
+    # zero residuals registered during autonomous forecasting — FoReCo's
+    # recovery loop never feeds real residuals back — so the MA correction is
+    # exactly zero on every path and a single shared instance produces the
+    # same forecasts as independent per-repetition copies.  That is what the
+    # batch contract requires (callers driving observe_residual by hand get
+    # "one shared state for all rows" semantics instead).
+    supports_batch_predict = True
 
     def __init__(self, record: int = 5, ma_order: int = 3, ridge: float = 0.03) -> None:
         super().__init__(record=record)
@@ -72,6 +80,20 @@ class VarmaForecaster(Forecaster):
         # decays over a loss burst and VARMA degrades to VAR as intended.
         self.observe_residual(np.zeros_like(prediction))
         return prediction
+
+    def _predict_next_batch(self, windows: np.ndarray) -> np.ndarray:
+        if self.ma_coefficients is None:
+            raise NotFittedError("VarmaForecaster has no fitted coefficients")
+        var_predictions = self._var.predict_next_batch(windows)
+        correction = np.zeros(var_predictions.shape[1])
+        if len(self._recent_residuals) >= self.ma_order:
+            lagged = np.concatenate(self._recent_residuals[-self.ma_order :])
+            correction = lagged @ self.ma_coefficients
+        predictions = var_predictions + correction
+        # One zero residual per batched step, mirroring the per-step append
+        # of the serial path (the correction stays exactly zero either way).
+        self.observe_residual(np.zeros(var_predictions.shape[1]))
+        return predictions
 
     # -------------------------------------------------------------- update
     def observe_residual(self, residual: np.ndarray) -> None:

@@ -66,6 +66,13 @@ class DhLink:
             d = self.d + q
         return dh_transform(self.a, self.alpha, d, theta)
 
+    def transform_batch(self, q: np.ndarray) -> np.ndarray:
+        """Stacked ``(n, 4, 4)`` transforms for an array of joint values."""
+        q = np.asarray(q, dtype=float)
+        if self.joint_type == "revolute":
+            return dh_transform_batch(self.a, self.alpha, np.broadcast_to(self.d, q.shape), self.theta + q)
+        return dh_transform_batch(self.a, self.alpha, self.d + q, np.broadcast_to(self.theta, q.shape))
+
 
 def dh_transform(a: float, alpha: float, d: float, theta: float) -> np.ndarray:
     """Return the 4x4 homogeneous transform for one set of DH parameters."""
@@ -79,6 +86,35 @@ def dh_transform(a: float, alpha: float, d: float, theta: float) -> np.ndarray:
             [0.0, 0.0, 0.0, 1.0],
         ]
     )
+
+
+def dh_transform_batch(a: float, alpha: float, d: np.ndarray, theta: np.ndarray) -> np.ndarray:
+    """Stacked 4x4 homogeneous transforms for arrays of ``d``/``theta``.
+
+    ``a`` and ``alpha`` are per-link constants; ``d`` and ``theta`` are
+    arrays of identical shape carrying one value per trajectory step.
+    Returns an array of shape ``theta.shape + (4, 4)``.
+    """
+    theta = np.asarray(theta, dtype=float)
+    d = np.asarray(d, dtype=float)
+    ct, st = np.cos(theta), np.sin(theta)
+    ca, sa = np.cos(alpha), np.sin(alpha)
+    out = np.empty(theta.shape + (4, 4))
+    out[..., 0, 0] = ct
+    out[..., 0, 1] = -st * ca
+    out[..., 0, 2] = st * sa
+    out[..., 0, 3] = a * ct
+    out[..., 1, 0] = st
+    out[..., 1, 1] = ct * ca
+    out[..., 1, 2] = -ct * sa
+    out[..., 1, 3] = a * st
+    out[..., 2, 0] = 0.0
+    out[..., 2, 1] = sa
+    out[..., 2, 2] = ca
+    out[..., 2, 3] = d
+    out[..., 3, :3] = 0.0
+    out[..., 3, 3] = 1.0
+    return out
 
 
 class ForwardKinematics:
@@ -117,13 +153,21 @@ class ForwardKinematics:
         return self.end_effector_transform(joints)[:3, 3]
 
     def positions(self, joint_trajectory: np.ndarray) -> np.ndarray:
-        """Vectorised FK over a ``(n_steps, n_joints)`` joint trajectory."""
+        """Vectorised FK over a ``(n_steps, n_joints)`` joint trajectory.
+
+        Chains one stacked ``(n, 4, 4)`` matmul per link instead of looping
+        over trajectory rows in Python — this sits on the RMSE hot path of
+        every simulation, serial and batched alike.
+        """
         joint_trajectory = np.asarray(joint_trajectory, dtype=float)
         if joint_trajectory.ndim != 2 or joint_trajectory.shape[1] != self.n_joints:
             raise DimensionError(
                 f"joint trajectory must have shape (n, {self.n_joints}), got {joint_trajectory.shape}"
             )
-        return np.array([self.end_effector_position(row) for row in joint_trajectory])
+        transform = self.base_transform
+        for index, link in enumerate(self.links):
+            transform = transform @ link.transform_batch(joint_trajectory[:, index])
+        return np.ascontiguousarray(transform[:, :3, 3])
 
     def link_positions(self, joints: Sequence[float]) -> np.ndarray:
         """Positions of every link frame origin (useful for plotting the arm)."""

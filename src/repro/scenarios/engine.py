@@ -17,6 +17,13 @@ SweepExecutor` can call :meth:`SessionEngine.run` from worker threads.
 Determinism is by construction: every random draw is seeded from the spec
 hash and the repetition index, never from execution order, so a sweep
 produces bit-identical results with 1 or N workers.
+
+Repetitions execute through the **batched session kernel** by default: all
+of a spec's channel realisations advance as one stacked NumPy computation
+(:class:`repro.core.BatchedRemoteControlSimulation`) instead of a serial
+Python loop, which is several times faster at equal results — the serial
+path is kept behind the ``batch=False`` escape hatch and doubles as the
+bit-equality oracle in the tests.
 """
 
 from __future__ import annotations
@@ -31,7 +38,11 @@ from functools import lru_cache
 import numpy as np
 
 from ..core.recovery import ForecoRecovery
-from ..core.simulation import RemoteControlSimulation, SimulationOutcome
+from ..core.simulation import (
+    BatchedRemoteControlSimulation,
+    RemoteControlSimulation,
+    SimulationOutcome,
+)
 from ..errors import ConfigurationError
 from ..forecasting import make_forecaster
 from ..teleop import (
@@ -203,11 +214,28 @@ class SessionResult:
 
     @property
     def improvement_factor(self) -> float:
-        """Mean baseline RMSE over mean FoReCo RMSE."""
-        return self.mean_rmse_no_forecast_mm / max(self.mean_rmse_foreco_mm, 1e-9)
+        """Mean baseline RMSE over mean FoReCo RMSE (the paper's ×18 / ×2).
+
+        Contract: when the FoReCo RMSE denominator is zero or numerically
+        negligible (< 1e-12 mm — e.g. a clean channel where FoReCo replays
+        the defined trajectory exactly), the factor is ``float("inf")``
+        rather than a NaN, an exception, or an arbitrary huge float.
+        Callers that tabulate or JSON-encode results must expect ``inf``.
+        """
+        denominator = self.mean_rmse_foreco_mm
+        if denominator < 1e-12:
+            return float("inf")
+        return self.mean_rmse_no_forecast_mm / denominator
 
     def to_dict(self) -> dict:
-        """JSON-safe summary row (trajectories and raw delays excluded)."""
+        """JSON-safe summary row (trajectories and raw delays excluded).
+
+        A non-finite :attr:`improvement_factor` (the documented ``inf`` for
+        a ~zero FoReCo RMSE) is serialised as ``None`` — ``json.dumps``
+        would otherwise emit the literal ``Infinity``, which RFC 8259
+        consumers reject.
+        """
+        factor = self.improvement_factor
         return {
             "scenario": self.spec.name,
             "spec_hash": self.spec_hash,
@@ -221,7 +249,7 @@ class SessionResult:
             "rmse_foreco_mm": [float(v) for v in self.rmse_foreco_mm],
             "mean_rmse_no_forecast_mm": self.mean_rmse_no_forecast_mm,
             "mean_rmse_foreco_mm": self.mean_rmse_foreco_mm,
-            "improvement_factor": self.improvement_factor,
+            "improvement_factor": factor if np.isfinite(factor) else None,
             "mean_late_fraction": self.mean_late_fraction,
             "mean_recovery_fraction": self.mean_recovery_fraction,
         }
@@ -238,10 +266,18 @@ class SessionEngine:
         re-running the same spec (e.g. across sweep rounds) is free.  The
         forecaster and dataset caches are always on — they are pure
         functions of the spec.
+    batch:
+        Execute a spec's repetitions through the batched session kernel
+        (:class:`repro.core.BatchedRemoteControlSimulation`) whenever the
+        spec has more than one repetition and its forecaster supports
+        batched prediction.  The kernel is bit-identical to the serial
+        repetition loop; ``batch=False`` is the escape hatch that forces the
+        serial path (and is what the equality tests compare against).
     """
 
-    def __init__(self, cache_results: bool = True) -> None:
+    def __init__(self, cache_results: bool = True, batch: bool = True) -> None:
         self.cache_results = bool(cache_results)
+        self.batch = bool(batch)
         self._results: dict[str, SessionResult] = {}
         self._forecasters: dict[tuple, object] = {}
         self._results_lock = threading.Lock()
@@ -313,8 +349,20 @@ class SessionEngine:
         return ForecoRecovery(config=spec.foreco.to_config(), forecaster=self.session_forecaster(spec))
 
     # ------------------------------------------------------------- sessions
-    def run(self, spec: ScenarioSpec) -> SessionResult:
-        """Run one scenario (all its repetitions) and return the result row."""
+    def run(self, spec: ScenarioSpec, batch: bool | None = None) -> SessionResult:
+        """Run one scenario (all its repetitions) and return the result row.
+
+        Parameters
+        ----------
+        spec:
+            The scenario to execute.
+        batch:
+            Per-call override of the engine's :attr:`batch` setting:
+            ``False`` forces the serial repetition loop, ``True`` requests
+            the batched kernel (still subject to the forecaster supporting
+            it).  Both paths produce bit-identical results, so cached rows
+            are shared between them.
+        """
         key = spec.spec_hash()
         if self.cache_results:
             with self._results_lock:
@@ -323,14 +371,51 @@ class SessionEngine:
                 return cached
 
         commands = self.test_commands(spec)
-        self.trained_forecaster(spec)  # ensure the master is fitted once
-        period_ms = spec.foreco.command_period_ms
+        master = self.trained_forecaster(spec)  # ensure the master is fitted once
+        use_batch = self.batch if batch is None else bool(batch)
+        if (
+            use_batch
+            and spec.repetitions > 1
+            and getattr(master, "supports_batch_predict", False)
+        ):
+            outcomes, delays = self._run_batched(spec, commands)
+        else:
+            outcomes, delays = self._run_serial(spec, commands)
 
-        rmse_baseline: list[float] = []
-        rmse_foreco: list[float] = []
-        late: list[float] = []
-        recovered: list[float] = []
-        outcome: SimulationOutcome | None = None
+        result = SessionResult(
+            spec=spec,
+            spec_hash=key,
+            n_commands=int(commands.shape[0]),
+            rmse_no_forecast_mm=tuple(o.rmse_no_forecast_mm for o in outcomes),
+            rmse_foreco_mm=tuple(o.rmse_foreco_mm for o in outcomes),
+            late_fraction=tuple(o.late_fraction for o in outcomes),
+            recovery_fraction=tuple(o.recovery_fraction for o in outcomes),
+            outcome=outcomes[-1],
+            delays_ms=delays,
+        )
+        if self.cache_results:
+            with self._results_lock:
+                self._results.setdefault(key, result)
+        return result
+
+    def _sample_delays(self, spec: ScenarioSpec, n_commands: int, repetition: int) -> np.ndarray:
+        """One repetition's channel realisation (seeded from the spec)."""
+        return sample_channel_delays(
+            spec.channel,
+            n_commands,
+            seed=repetition_seed(spec, repetition),
+            command_period_ms=spec.foreco.command_period_ms,
+        )
+
+    def _run_serial(
+        self, spec: ScenarioSpec, commands: np.ndarray
+    ) -> tuple[list[SimulationOutcome], np.ndarray]:
+        """The reference path: one full simulation per repetition.
+
+        Kept verbatim as the equality oracle for the batched kernel (and as
+        the fallback for forecasters without batched prediction).
+        """
+        outcomes: list[SimulationOutcome] = []
         delays: np.ndarray | None = None
         for repetition in range(spec.repetitions):
             recovery = ForecoRecovery(
@@ -339,33 +424,36 @@ class SessionEngine:
             simulation = RemoteControlSimulation(
                 recovery, use_pid=spec.use_pid, fallback=spec.fallback
             )
-            delays = sample_channel_delays(
-                spec.channel,
-                commands.shape[0],
-                seed=repetition_seed(spec, repetition),
-                command_period_ms=period_ms,
-            )
-            outcome = simulation.run(commands, delays)
-            rmse_baseline.append(outcome.rmse_no_forecast_mm)
-            rmse_foreco.append(outcome.rmse_foreco_mm)
-            late.append(outcome.late_fraction)
-            recovered.append(outcome.recovery_fraction)
+            delays = self._sample_delays(spec, commands.shape[0], repetition)
+            outcomes.append(simulation.run(commands, delays))
+        assert delays is not None  # repetitions >= 1 by spec validation
+        return outcomes, delays
 
-        result = SessionResult(
-            spec=spec,
-            spec_hash=key,
-            n_commands=int(commands.shape[0]),
-            rmse_no_forecast_mm=tuple(rmse_baseline),
-            rmse_foreco_mm=tuple(rmse_foreco),
-            late_fraction=tuple(late),
-            recovery_fraction=tuple(recovered),
-            outcome=outcome,
-            delays_ms=delays,
+    def _run_batched(
+        self, spec: ScenarioSpec, commands: np.ndarray
+    ) -> tuple[list[SimulationOutcome], np.ndarray]:
+        """The batched kernel: all repetitions as one stacked computation.
+
+        Channel realisations keep the exact spec-derived per-repetition
+        seeds, and one private fitted forecaster serves the whole stack (the
+        ``supports_batch_predict`` contract makes that equivalent to the
+        serial path's per-repetition deep copies), so the outcomes are
+        bit-identical to :meth:`_run_serial`.
+        """
+        delays_batch = np.stack(
+            [
+                self._sample_delays(spec, commands.shape[0], repetition)
+                for repetition in range(spec.repetitions)
+            ]
         )
-        if self.cache_results:
-            with self._results_lock:
-                self._results.setdefault(key, result)
-        return result
+        recovery = ForecoRecovery(
+            config=spec.foreco.to_config(), forecaster=self.session_forecaster(spec)
+        )
+        simulation = BatchedRemoteControlSimulation(
+            recovery, use_pid=spec.use_pid, fallback=spec.fallback
+        )
+        outcomes = simulation.run(commands, delays_batch)
+        return outcomes, delays_batch[-1]
 
     def cached_result(self, spec: ScenarioSpec) -> SessionResult | None:
         """The cached result for this spec, if any."""

@@ -2,11 +2,12 @@
 
 A sweep is an ordered list of :class:`ScenarioSpec` values.  The
 :class:`SweepExecutor` fans the list out over a thread pool (each session is
-NumPy-bound and self-contained, and the engine's caches are lock-guarded),
-preserving input order in the returned :class:`SweepResult`.  Because every
-random draw is seeded from the spec itself (see
+NumPy-bound and self-contained, and the engine's caches are lock-guarded) or,
+with ``backend="process"``, over a process pool for true multi-core grids —
+preserving input order in the returned :class:`SweepResult` either way.
+Because every random draw is seeded from the spec itself (see
 :func:`repro.scenarios.engine.repetition_seed`), the result is bit-identical
-whether the sweep runs with 1 worker or N.
+whether the sweep runs with 1 worker or N, threads or processes.
 
 :func:`scenario_grid` expands axis definitions into the cross-product of
 specs — the declarative replacement for the nested ``for`` loops the
@@ -17,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 import json
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -133,8 +134,21 @@ class SweepResult:
 
 
 # ------------------------------------------------------------------- executor
+#: Per-process session engine for the ``"process"`` backend.  Created lazily
+#: in each worker on its first spec, so one worker amortises dataset and
+#: forecaster training across every spec it is handed.
+_WORKER_ENGINE: SessionEngine | None = None
+
+
+def _run_spec_in_worker(spec: ScenarioSpec) -> SessionResult:
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = SessionEngine()
+    return _WORKER_ENGINE.run(spec)
+
+
 class SweepExecutor:
-    """Runs a list of scenario specs, optionally over worker threads.
+    """Runs a list of scenario specs, optionally over workers.
 
     Parameters
     ----------
@@ -142,12 +156,43 @@ class SweepExecutor:
         Worker count; ``1`` (default) runs serially in the calling thread.
     engine:
         Shared :class:`SessionEngine`; a private one is created when omitted,
-        so repeated ``run`` calls on one executor reuse its caches.
+        so repeated ``run`` calls on one executor reuse its caches.  Ignored
+        by the ``"process"`` backend (see below).
+    backend:
+        ``"thread"`` (default) fans specs out over a thread pool sharing
+        ``engine`` and its caches — the right choice when sweeps reuse
+        datasets/forecasters heavily or results must land in this process's
+        cache.  ``"process"`` uses a :class:`~concurrent.futures.
+        ProcessPoolExecutor` for true multi-core scaling of NumPy-bound
+        grids: every worker process builds a private engine on first use
+        (caches cannot be shared across processes), specs and result rows
+        travel by pickling.  Because all randomness is seeded from the spec,
+        both backends return results bit-identical to a serial run.
+
+        Caveat: runtime registrations (``register_forecaster`` /
+        ``register_scenario``) live in per-process module globals.  Workers
+        inherit them under the ``fork`` start method (Linux default) but NOT
+        under ``spawn`` (macOS/Windows default), where specs referencing
+        them fail with a ``ConfigurationError``; use ``backend="thread"``
+        for such specs on those platforms.
     """
 
-    def __init__(self, jobs: int = 1, engine: SessionEngine | None = None) -> None:
+    #: Accepted ``backend`` values.
+    BACKENDS: tuple[str, ...] = ("thread", "process")
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        engine: SessionEngine | None = None,
+        backend: str = "thread",
+    ) -> None:
+        if backend not in self.BACKENDS:
+            raise ConfigurationError(
+                f"unknown sweep backend {backend!r}; available: {sorted(self.BACKENDS)}"
+            )
         self.jobs = max(1, int(jobs))
         self.engine = engine if engine is not None else SessionEngine()
+        self.backend = backend
 
     def run(self, specs: Iterable[ScenarioSpec]) -> SweepResult:
         """Execute every spec and return results in input order."""
@@ -156,6 +201,9 @@ class SweepExecutor:
             return SweepResult([])
         if self.jobs == 1 or len(specs) == 1:
             rows = [self.engine.run(spec) for spec in specs]
+        elif self.backend == "process":
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                rows = list(pool.map(_run_spec_in_worker, specs))
         else:
             # The engine trains distinct forecaster identities in parallel and
             # serialises same-identity requests on a per-key lock, so workers

@@ -203,6 +203,26 @@ def test_sweep_executor_parallel_matches_serial():
         assert row_s.recovery_fraction == row_p.recovery_fraction
 
 
+def test_sweep_process_backend_matches_serial():
+    """backend="process" returns the same rows as a serial run, in order."""
+    base = _spec(loss_burst_channel(burst_length=10), repetitions=2)
+    axes = {"channel.burst_length": (5, 15), "seed": (1, 2)}
+    serial = SweepExecutor(jobs=1).run_grid(base, axes)
+    process = SweepExecutor(jobs=2, backend="process").run_grid(base, axes)
+    assert len(serial) == len(process) == 4
+    for row_s, row_p in zip(serial, process):
+        assert row_s.spec_hash == row_p.spec_hash
+        assert row_s.rmse_no_forecast_mm == row_p.rmse_no_forecast_mm
+        assert row_s.rmse_foreco_mm == row_p.rmse_foreco_mm
+        assert row_s.late_fraction == row_p.late_fraction
+        assert row_s.recovery_fraction == row_p.recovery_fraction
+
+
+def test_sweep_rejects_unknown_backend():
+    with pytest.raises(ConfigurationError):
+        SweepExecutor(jobs=2, backend="bogus")
+
+
 def test_sweep_result_table_json_and_selectors():
     sweep = SweepExecutor(jobs=2).run(
         [

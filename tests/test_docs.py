@@ -1,0 +1,69 @@
+"""Docs-site consistency checks.
+
+The mkdocs build itself runs in CI; these tests catch the failure modes that
+do not need mkdocs installed: the generated preset reference drifting from
+the registries, broken relative links between docs pages, and nav entries
+pointing at missing files."""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS = REPO_ROOT / "docs"
+
+#: Markdown inline links: [text](target), excluding images handled the same.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_generated_presets_page_in_sync():
+    """docs/presets.md must match what scripts/generate_docs.py renders.
+
+    Runs the generator's ``--check`` in a fresh interpreter (as CI does):
+    other tests register temporary presets/forecasters in this process,
+    which must not leak into the reference page.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "generate_docs.py"), "--check"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        "docs/presets.md is stale - run 'PYTHONPATH=src python scripts/generate_docs.py'\n"
+        + result.stdout
+        + result.stderr
+    )
+
+
+def test_docs_internal_links_resolve():
+    for page in sorted(DOCS.glob("*.md")):
+        for target in _LINK.findall(page.read_text(encoding="utf-8")):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            assert (page.parent / relative).exists(), (
+                f"{page.name}: broken internal link to {target!r}"
+            )
+
+
+def test_mkdocs_nav_files_exist():
+    config = (REPO_ROOT / "mkdocs.yml").read_text(encoding="utf-8")
+    pages = re.findall(r":\s*([\w\-]+\.md)\s*$", config, flags=re.MULTILINE)
+    assert pages, "mkdocs.yml nav should list at least one page"
+    for page in pages:
+        assert (DOCS / page).exists(), f"mkdocs.yml nav references missing docs/{page}"
+    # Every docs page should be reachable from the nav.
+    for page in DOCS.glob("*.md"):
+        assert page.name in pages, f"docs/{page.name} is not listed in mkdocs.yml nav"
