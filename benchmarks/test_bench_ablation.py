@@ -131,7 +131,10 @@ def test_tolerance_sweep(benchmark, bench_scale, bench_seed):
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     emit(
         "Ablation — tolerance τ",
-        "\n".join(f"tau={tolerance:>4.0f} ms: late fraction {value:.3f}" for tolerance, value in results.items()),
+        "\n".join(
+            f"tau={tolerance:>4.0f} ms: late fraction {value:.3f}"
+            for tolerance, value in results.items()
+        ),
     )
     values = list(results.values())
     assert values[0] >= values[1] >= values[2]

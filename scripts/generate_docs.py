@@ -19,7 +19,14 @@ import sys
 from pathlib import Path
 
 from repro.forecasting import forecaster_names, make_forecaster
-from repro.scenarios import get_scale, get_scenario, scale_names, scenario_catalog
+from repro.scenarios import (
+    CHANNEL_KIND_SUMMARIES,
+    CHANNEL_KINDS,
+    get_scale,
+    get_scenario,
+    scale_names,
+    scenario_catalog,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 PRESETS_PAGE = REPO_ROOT / "docs" / "presets.md"
@@ -49,6 +56,17 @@ def _preset_table() -> list[str]:
             f"| `{name}` | `{channel}` | {spec.operator} | "
             f"{'yes' if spec.use_pid else 'no'} | {description} |"
         )
+    return lines
+
+
+def _channel_kind_table() -> list[str]:
+    lines = [
+        "| Kind | Model |",
+        "| --- | --- |",
+    ]
+    for kind in CHANNEL_KINDS:
+        summary = CHANNEL_KIND_SUMMARIES.get(kind, "")
+        lines.append(f"| `{kind}` | {summary} |")
     return lines
 
 
@@ -93,7 +111,17 @@ def render() -> str:
     parts.append("## Presets\n")
     parts.extend(_preset_table())
     parts.append("\nA `compound[...]` channel superposes stages: a command traverses")
-    parts.append("every stage, delays add up, and it is lost if any stage loses it.\n")
+    parts.append("every stage, delays add up, and it is lost if any stage loses it.")
+    parts.append("Per-stage RNG seeds are hash-derived from the stage's *content*, so")
+    parts.append("reordering stages never changes the realisations or the loss set.\n")
+    parts.append("## Channel kinds\n")
+    parts.extend(_channel_kind_table())
+    parts.append("\nEvery kind samples through `sample_channel_delays` (serial, one")
+    parts.append("repetition per seed) and `sample_channel_delays_batch` (all")
+    parts.append("repetitions as one `(B, n)` array).  The two paths are bit-identical")
+    parts.append("per seed — the serial sampler is the oracle — and the batched path")
+    parts.append("is what `SessionEngine` uses for multi-repetition specs (see")
+    parts.append("[Performance](performance.md)).\n")
     parts.append("## Sizing scales\n")
     parts.extend(_scale_table())
     parts.append("\n`full` approaches the paper's sweep sizes; `ci` keeps every")

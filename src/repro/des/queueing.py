@@ -151,7 +151,8 @@ class FiniteQueueSimulator:
         def _on_arrival(sim: Simulator, event: Event) -> None:
             record: CustomerRecord = event.payload
             self.records.append(record)
-            if self.capacity is not None and len(state.buffer) >= self.capacity and state.in_service is not None:
+            buffer_full = self.capacity is not None and len(state.buffer) >= self.capacity
+            if buffer_full and state.in_service is not None:
                 record.dropped = True
             else:
                 state.buffer.append(record)

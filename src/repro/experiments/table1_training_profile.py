@@ -47,9 +47,13 @@ class Table1Result:
         for stage, stats in self.stage_stats.items():
             lines.append(f"{stage:<16s} {stats['mean']:>10.4f} {stats['std']:>10.4f}")
         lines.append(f"{'inference [ms]':<16s} {self.inference_ms:>10.4f}")
+        pi_scale = (
+            HARDWARE_PROFILES["raspberry-pi3"].training_scale
+            / HARDWARE_PROFILES["laptop"].training_scale
+        )
         lines.append(
             f"projected Raspberry Pi 3 total: {self.projected_pi_total_s:.1f} s "
-            f"(host total x {HARDWARE_PROFILES['raspberry-pi3'].training_scale / HARDWARE_PROFILES['laptop'].training_scale:.1f})"
+            f"(host total x {pi_scale:.1f})"
         )
         return "\n".join(lines)
 

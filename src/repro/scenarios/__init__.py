@@ -11,7 +11,8 @@ and the ``foreco-experiments`` CLI all describe work as
   repetitions) and the channel-spec helpers;
 * :mod:`repro.scenarios.registry` — named presets (``clean``,
   ``bursty-loss``, ``jammer``, ``congested-ap``, ``jammer-congestion``,
-  ``operator-mix``, ``random-loss``);
+  ``operator-mix``, ``random-loss``, ``markov-interference``, ``handover``,
+  ``trace-replay``);
 * :mod:`repro.scenarios.engine` — resolves one spec into
   :class:`repro.core.RemoteControlSimulation` runs with dataset /
   forecaster / result caching keyed by the spec hash;
@@ -24,8 +25,10 @@ from .engine import (
     SessionResult,
     SharedDatasets,
     build_datasets,
+    compound_stage_seed,
     repetition_seed,
     sample_channel_delays,
+    sample_channel_delays_batch,
 )
 from .registry import (
     get_scenario,
@@ -34,6 +37,7 @@ from .registry import (
     scenario_names,
 )
 from .spec import (
+    CHANNEL_KIND_SUMMARIES,
     CHANNEL_KINDS,
     OPERATORS,
     ChannelSpec,
@@ -44,16 +48,20 @@ from .spec import (
     compound_channel,
     freeze_params,
     get_scale,
+    handover_channel,
     jammer_channel,
     loss_burst_channel,
+    markov_interference_channel,
     periodic_loss_channel,
     random_loss_channel,
     scale_names,
+    trace_channel,
     wireless_channel,
 )
 from .sweep import SweepExecutor, SweepResult, scenario_grid
 
 __all__ = [
+    "CHANNEL_KIND_SUMMARIES",
     "CHANNEL_KINDS",
     "OPERATORS",
     "ChannelSpec",
@@ -68,19 +76,24 @@ __all__ = [
     "build_datasets",
     "clean_channel",
     "compound_channel",
+    "compound_stage_seed",
     "freeze_params",
     "get_scale",
     "get_scenario",
+    "handover_channel",
     "jammer_channel",
     "loss_burst_channel",
+    "markov_interference_channel",
     "periodic_loss_channel",
     "random_loss_channel",
     "register_scenario",
     "repetition_seed",
     "sample_channel_delays",
+    "sample_channel_delays_batch",
     "scale_names",
     "scenario_catalog",
     "scenario_grid",
     "scenario_names",
+    "trace_channel",
     "wireless_channel",
 ]

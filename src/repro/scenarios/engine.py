@@ -52,16 +52,24 @@ from ..teleop import (
     inexperienced_operator,
 )
 from ..teleop.controller import CommandStream
+from .._validation import rng_from
 from ..wireless import (
     ConsecutiveLossInjector,
     GilbertElliottJammer,
+    HandoverChannel,
+    HandoverConfig,
     InterferenceSource,
     JammerConfig,
+    MarkovChannelConfig,
+    MarkovModulatedChannel,
     PeriodicLossInjector,
     RandomLossInjector,
     WirelessChannel,
+    sample_handover_delays_batch,
+    sample_jammer_delays_batch,
+    sample_markov_delays_batch,
 )
-from .spec import ChannelSpec, ExperimentScale, ScenarioSpec, get_scale
+from .spec import ChannelSpec, ExperimentScale, ScenarioSpec, _jsonify, get_scale
 
 
 # ------------------------------------------------------------------- datasets
@@ -102,6 +110,11 @@ def build_datasets(scale: str | ExperimentScale = "ci", seed: int = 42) -> Share
 
 
 # ------------------------------------------------------------------- channels
+def _hash_seed(payload: str) -> int:
+    """32-bit seed derived from a payload string (shared hashing scheme)."""
+    return int.from_bytes(hashlib.sha256(payload.encode("utf-8")).digest()[:4], "big")
+
+
 def repetition_seed(spec: ScenarioSpec, repetition: int, stage: int = 0) -> int:
     """Deterministic per-repetition RNG seed for the channel samplers.
 
@@ -110,10 +123,82 @@ def repetition_seed(spec: ScenarioSpec, repetition: int, stage: int = 0) -> int:
     while specs that differ only in recovery-side knobs (record length,
     tolerance, fallback, …) replay the exact same delay trace.  Independent
     of worker scheduling, so parallel sweeps reproduce serial ones exactly.
+
+    ``stage`` opens a hash-decorrelated sub-stream axis for callers that need
+    several independent draws per repetition; compound channels derive their
+    per-stage seeds through the same sha256 scheme (see
+    :func:`compound_stage_seed`), keyed on stage *content* rather than stage
+    position so superposition stays order-invariant.
     """
     identity = json.dumps(spec.channel_identity(), sort_keys=True, separators=(",", ":"))
-    payload = f"{identity}::{int(repetition)}::{int(stage)}".encode("utf-8")
-    return int.from_bytes(hashlib.sha256(payload).digest()[:4], "big")
+    return _hash_seed(f"{identity}::{int(repetition)}::{int(stage)}")
+
+
+def compound_stage_seed(seed: int, stage: ChannelSpec, occurrence: int = 0) -> int:
+    """Hash-derived RNG seed for one stage of a compound channel.
+
+    The old additive scheme (``seed + 9973 * (index + 1)``) could collide or
+    correlate across dense 32-bit repetition seeds; this derivation feeds the
+    base seed, the stage's *content* (kind + parameters) and its occurrence
+    count among identical stages through the same sha256 construction as
+    :func:`repetition_seed`.  Keying on content instead of position makes
+    superposition order-invariant: reordering the stages of a compound
+    channel permutes only the summation order, never the per-stage
+    realisations or the union of losses.
+
+    Compatibility: spec hashes are unchanged (seed derivation is not part of
+    the hashing domain), but compound-channel delay traces differ from those
+    produced before this scheme — cached ``SessionResult`` rows for compound
+    specs from older runs are not comparable.
+    """
+    identity = json.dumps(
+        {"kind": stage.kind, "params": _jsonify(stage.params)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return _hash_seed(f"{int(seed)}::{identity}::{int(occurrence)}")
+
+
+def _compound_stage_seeds(stages, seed: int) -> list[int]:
+    """Per-stage seeds for one compound realisation (content-keyed)."""
+    occurrences: dict[ChannelSpec, int] = {}
+    stage_seeds: list[int] = []
+    for stage in stages:
+        occurrence = occurrences.get(stage, 0)
+        occurrences[stage] = occurrence + 1
+        stage_seeds.append(compound_stage_seed(seed, stage, occurrence))
+    return stage_seeds
+
+
+def _wireless_from_options(
+    options: dict, command_period_ms: float, seed=None
+) -> WirelessChannel:
+    """Materialise a :class:`WirelessChannel` from frozen spec options."""
+    interference = InterferenceSource(
+        probability=float(options.pop("probability", 0.0)),
+        duration_slots=int(options.pop("duration_slots", 0)),
+    )
+    return WirelessChannel(
+        n_robots=int(options.pop("n_robots", 5)),
+        interference=interference,
+        command_period_ms=command_period_ms,
+        seed=seed,
+        **options,
+    )
+
+
+def _trace_replay(options: dict, n_commands: int, seeds) -> np.ndarray:
+    """``(B, n)`` replay of a recorded delay trace with per-seed phase offsets."""
+    recorded = np.asarray(options.get("delays_ms", ()), dtype=float)
+    if recorded.ndim != 1 or recorded.size == 0:
+        raise ConfigurationError("trace channel needs a non-empty delays_ms recording")
+    cycle_offsets = bool(options.get("cycle_offsets", True))
+    if cycle_offsets:
+        offsets = np.array([int(rng_from(seed).integers(recorded.size)) for seed in seeds])
+    else:
+        offsets = np.zeros(len(seeds), dtype=int)
+    indices = (np.arange(n_commands)[None, :] + offsets[:, None]) % recorded.size
+    return recorded[indices]
 
 
 def sample_channel_delays(
@@ -122,22 +207,16 @@ def sample_channel_delays(
     seed: int,
     command_period_ms: float = 20.0,
 ) -> np.ndarray:
-    """Sample one realisation of per-command delays (ms, ``inf`` = lost)."""
+    """Sample one realisation of per-command delays (ms, ``inf`` = lost).
+
+    This is the serial reference path — one repetition at a time, kept as
+    the bit-equality oracle for :func:`sample_channel_delays_batch`.
+    """
     options = channel.options()
     if channel.kind == "clean":
         return np.full(n_commands, float(options.get("nominal_delay_ms", 1.0)))
     if channel.kind == "wireless":
-        interference = InterferenceSource(
-            probability=float(options.pop("probability", 0.0)),
-            duration_slots=int(options.pop("duration_slots", 0)),
-        )
-        wireless = WirelessChannel(
-            n_robots=int(options.pop("n_robots", 5)),
-            interference=interference,
-            command_period_ms=command_period_ms,
-            seed=seed,
-            **options,
-        )
+        wireless = _wireless_from_options(options, command_period_ms, seed=seed)
         return wireless.sample_trace(n_commands).delays()
     if channel.kind == "jammer":
         jammer = GilbertElliottJammer(config=JammerConfig(**options), seed=seed)
@@ -145,23 +224,94 @@ def sample_channel_delays(
     if channel.kind == "loss-burst":
         nominal = float(options.pop("nominal_delay_ms", 1.0))
         injector = ConsecutiveLossInjector(seed=seed, **options)
-        return injector.to_trace(n_commands, nominal_delay_ms=nominal).delays()
+        return injector.to_delays(n_commands, nominal_delay_ms=nominal)
     if channel.kind == "periodic-loss":
         nominal = float(options.pop("nominal_delay_ms", 1.0))
         injector = PeriodicLossInjector(**options)
-        return injector.to_trace(n_commands, nominal_delay_ms=nominal).delays()
+        return injector.to_delays(n_commands, nominal_delay_ms=nominal)
     if channel.kind == "random-loss":
         nominal = float(options.pop("nominal_delay_ms", 1.0))
         injector = RandomLossInjector(seed=seed, **options)
-        return injector.to_trace(n_commands, nominal_delay_ms=nominal).delays()
+        return injector.to_delays(n_commands, nominal_delay_ms=nominal)
+    if channel.kind == "trace":
+        return _trace_replay(options, n_commands, [seed])[0]
+    if channel.kind == "markov-interference":
+        markov = MarkovModulatedChannel(config=MarkovChannelConfig(**options), seed=seed)
+        return markov.sample_delays(n_commands)
+    if channel.kind == "handover":
+        handover = HandoverChannel(config=HandoverConfig(**options), seed=seed)
+        return handover.sample_delays(n_commands)
     if channel.kind == "compound":
         stages = options.get("stages", ())
         if not stages:
             raise ConfigurationError("compound channel has no stages")
         total = np.zeros(n_commands)
-        for index, stage in enumerate(stages):
+        for stage, stage_seed in zip(stages, _compound_stage_seeds(stages, seed)):
             total = total + sample_channel_delays(
-                stage, n_commands, seed + 9973 * (index + 1), command_period_ms
+                stage, n_commands, stage_seed, command_period_ms
+            )
+        return total
+    raise ConfigurationError(f"unknown channel kind {channel.kind!r}")
+
+
+def sample_channel_delays_batch(
+    channel: ChannelSpec,
+    n_commands: int,
+    seeds,
+    command_period_ms: float = 20.0,
+) -> np.ndarray:
+    """Sample ``B`` independent delay realisations as one ``(B, n)`` array.
+
+    Row ``b`` is bit-identical to
+    ``sample_channel_delays(channel, n_commands, seeds[b], command_period_ms)``
+    — each repetition consumes its own seed's RNG stream exactly as the
+    serial path does — but the heavy samplers (the 802.11 AP queue, the
+    Markov chains, the loss injectors) advance every repetition in lockstep
+    NumPy arrays and expensive derived state (the Bianchi DCF fixed point,
+    service distributions) is built once per batch instead of once per
+    repetition.  This is the entry point :class:`SessionEngine` routes
+    batched repetitions through.
+    """
+    seeds = [int(seed) for seed in seeds]
+    if not seeds:
+        raise ConfigurationError("sample_channel_delays_batch needs at least one seed")
+    batch = len(seeds)
+    options = channel.options()
+    if channel.kind == "clean":
+        return np.full((batch, n_commands), float(options.get("nominal_delay_ms", 1.0)))
+    if channel.kind == "wireless":
+        wireless = _wireless_from_options(options, command_period_ms)
+        return wireless.sample_delays_batch(n_commands, seeds)
+    if channel.kind == "jammer":
+        return sample_jammer_delays_batch(JammerConfig(**options), n_commands, seeds)
+    if channel.kind == "loss-burst":
+        nominal = float(options.pop("nominal_delay_ms", 1.0))
+        injector = ConsecutiveLossInjector(**options)
+        return np.where(injector.lost_mask_batch(n_commands, seeds), np.inf, nominal)
+    if channel.kind == "periodic-loss":
+        nominal = float(options.pop("nominal_delay_ms", 1.0))
+        injector = PeriodicLossInjector(**options)
+        return np.where(injector.lost_mask_batch(n_commands, seeds), np.inf, nominal)
+    if channel.kind == "random-loss":
+        nominal = float(options.pop("nominal_delay_ms", 1.0))
+        injector = RandomLossInjector(**options)
+        return np.where(injector.lost_mask_batch(n_commands, seeds), np.inf, nominal)
+    if channel.kind == "trace":
+        return _trace_replay(options, n_commands, seeds)
+    if channel.kind == "markov-interference":
+        return sample_markov_delays_batch(MarkovChannelConfig(**options), n_commands, seeds)
+    if channel.kind == "handover":
+        return sample_handover_delays_batch(HandoverConfig(**options), n_commands, seeds)
+    if channel.kind == "compound":
+        stages = options.get("stages", ())
+        if not stages:
+            raise ConfigurationError("compound channel has no stages")
+        per_seed_stage_seeds = [_compound_stage_seeds(stages, seed) for seed in seeds]
+        total = np.zeros((batch, n_commands))
+        for index, stage in enumerate(stages):
+            stage_seeds = [row[index] for row in per_seed_stage_seeds]
+            total = total + sample_channel_delays_batch(
+                stage, n_commands, stage_seeds, command_period_ms
             )
         return total
     raise ConfigurationError(f"unknown channel kind {channel.kind!r}")
@@ -407,6 +557,21 @@ class SessionEngine:
             command_period_ms=spec.foreco.command_period_ms,
         )
 
+    def _sample_delays_batch(self, spec: ScenarioSpec, n_commands: int) -> np.ndarray:
+        """All repetitions' channel realisations as one ``(B, n)`` array.
+
+        Uses the same spec-derived per-repetition seeds as
+        :meth:`_sample_delays`, so the stacked realisations are bit-identical
+        to the serial loop's.
+        """
+        seeds = [repetition_seed(spec, repetition) for repetition in range(spec.repetitions)]
+        return sample_channel_delays_batch(
+            spec.channel,
+            n_commands,
+            seeds,
+            command_period_ms=spec.foreco.command_period_ms,
+        )
+
     def _run_serial(
         self, spec: ScenarioSpec, commands: np.ndarray
     ) -> tuple[list[SimulationOutcome], np.ndarray]:
@@ -434,18 +599,14 @@ class SessionEngine:
     ) -> tuple[list[SimulationOutcome], np.ndarray]:
         """The batched kernel: all repetitions as one stacked computation.
 
-        Channel realisations keep the exact spec-derived per-repetition
-        seeds, and one private fitted forecaster serves the whole stack (the
-        ``supports_batch_predict`` contract makes that equivalent to the
-        serial path's per-repetition deep copies), so the outcomes are
-        bit-identical to :meth:`_run_serial`.
+        Channel realisations come from the vectorized batch sampler with the
+        exact spec-derived per-repetition seeds, and one private fitted
+        forecaster serves the whole stack (the ``supports_batch_predict``
+        contract makes that equivalent to the serial path's per-repetition
+        deep copies), so the outcomes are bit-identical to
+        :meth:`_run_serial`.
         """
-        delays_batch = np.stack(
-            [
-                self._sample_delays(spec, commands.shape[0], repetition)
-                for repetition in range(spec.repetitions)
-            ]
-        )
+        delays_batch = self._sample_delays_batch(spec, commands.shape[0])
         recovery = ForecoRecovery(
             config=spec.foreco.to_config(), forecaster=self.session_forecaster(spec)
         )

@@ -170,8 +170,25 @@ CHANNEL_KINDS: tuple[str, ...] = (
     "loss-burst",
     "periodic-loss",
     "random-loss",
+    "trace",
+    "markov-interference",
+    "handover",
     "compound",
 )
+
+#: One-line summary per channel kind (rendered into the docs reference).
+CHANNEL_KIND_SUMMARIES: dict[str, str] = {
+    "clean": "lossless channel with a constant nominal delay",
+    "wireless": "802.11 AP queue with Bianchi contention and ON/OFF interference (Fig. 8)",
+    "jammer": "Gilbert-Elliott two-state bursty jammer (Fig. 10)",
+    "loss-burst": "random bursts of consecutive losses on a healthy channel (Fig. 9)",
+    "periodic-loss": "deterministic loss burst every `period` commands",
+    "random-loss": "memoryless i.i.d. Bernoulli losses",
+    "trace": "replay of a recorded delay/loss array, cycled with per-repetition phase offsets",
+    "markov-interference": "K-state Markov-modulated delay/loss regimes (superposable interference)",
+    "handover": "periodic AP-roaming outages with decaying delay spikes",
+    "compound": "superposition of stages: delays add, losses union",
+}
 
 
 @dataclass(frozen=True)
@@ -284,6 +301,71 @@ def periodic_loss_channel(
         "periodic-loss",
         period=period,
         burst_length=burst_length,
+        nominal_delay_ms=nominal_delay_ms,
+    )
+
+
+def trace_channel(delays_ms, cycle_offsets: bool = True) -> ChannelSpec:
+    """Replay a recorded per-command delay array (``inf`` marks a loss).
+
+    The trace cycles when the run is longer than the recording; with
+    ``cycle_offsets=True`` (default) every repetition starts the replay at a
+    seed-derived phase offset, so repeated sessions sample different windows
+    of the capture instead of replaying it verbatim.  This is the bridge
+    between the synthetic channel models and real packet captures.
+    """
+    values = tuple(float(d) for d in delays_ms)
+    if not values:
+        raise ConfigurationError("a trace channel needs at least one recorded delay")
+    for value in values:
+        if value != value or value < 0.0:  # NaN or negative
+            raise ConfigurationError(
+                f"trace delays must be >= 0 ms (inf = lost), got {value!r}"
+            )
+    return ChannelSpec.make("trace", delays_ms=values, cycle_offsets=bool(cycle_offsets))
+
+
+def markov_interference_channel(
+    transition=None,
+    delay_means_ms=None,
+    loss_probabilities=None,
+    start_state: int = 0,
+) -> ChannelSpec:
+    """``K``-state Markov-modulated delay/loss regimes.
+
+    Defaults model an idle / contended / swamped 2.4 GHz band (see
+    :class:`repro.wireless.MarkovChannelConfig`).  Superpose several sources
+    with :func:`compound_channel` to express heterogeneous interference whose
+    burstiness survives aggregation.
+    """
+    params: dict = {"start_state": int(start_state)}
+    if transition is not None:
+        params["transition"] = tuple(tuple(float(p) for p in row) for row in transition)
+    if delay_means_ms is not None:
+        params["delay_means_ms"] = tuple(float(d) for d in delay_means_ms)
+    if loss_probabilities is not None:
+        params["loss_probabilities"] = tuple(float(p) for p in loss_probabilities)
+    return ChannelSpec.make("markov-interference", **params)
+
+
+def handover_channel(
+    period: int = 250,
+    outage: int = 15,
+    spike_delay_ms: float = 30.0,
+    spike_decay_commands: float = 10.0,
+    nominal_delay_ms: float = 2.0,
+) -> ChannelSpec:
+    """Periodic AP-roaming profile: loss gaps plus decaying delay spikes.
+
+    Keywords are :class:`repro.wireless.HandoverConfig` fields; each
+    repetition shifts the schedule by a seed-derived phase offset.
+    """
+    return ChannelSpec.make(
+        "handover",
+        period=period,
+        outage=outage,
+        spike_delay_ms=spike_delay_ms,
+        spike_decay_commands=spike_decay_commands,
         nominal_delay_ms=nominal_delay_ms,
     )
 

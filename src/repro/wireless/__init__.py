@@ -16,18 +16,34 @@ This package reproduces the modelling chain the paper relies on (§V):
   for the experimental-evaluation reproduction (Fig. 10).
 * :mod:`repro.wireless.lossgen` — deterministic consecutive-loss injector for
   the controlled experiments (Fig. 9).
+* :mod:`repro.wireless.markov` — time-varying channel models beyond the
+  paper's single-cause scenarios: ``K``-state Markov-modulated delay/loss
+  regimes (superposable heterogeneous interference) and a periodic AP
+  handover profile.
+
+Every stochastic sampler ships a serial reference path plus a ``(B, n)``
+batched path that is bit-identical to per-seed serial sampling (the
+channel-layer randomness contract used by the scenario engine).
 """
 
 from .bianchi import DcfModel, DcfParameters, DcfSolution, InterferenceSource
-from .channel import ChannelSample, CommandDelayTrace, WirelessChannel
+from .channel import ChannelSample, CommandDelayTrace, WirelessChannel, trace_from_delays
 from .delay_model import (
     Ieee80211DelayModel,
     RetransmissionDistribution,
     causality_violation_probability,
     expected_delay_bound,
 )
-from .jammer import GilbertElliottJammer, JammerConfig
+from .jammer import GilbertElliottJammer, JammerConfig, sample_jammer_delays_batch
 from .lossgen import ConsecutiveLossInjector, LossPattern, PeriodicLossInjector, RandomLossInjector
+from .markov import (
+    HandoverChannel,
+    HandoverConfig,
+    MarkovChannelConfig,
+    MarkovModulatedChannel,
+    sample_handover_delays_batch,
+    sample_markov_delays_batch,
+)
 
 __all__ = [
     "DcfModel",
@@ -37,14 +53,22 @@ __all__ = [
     "ChannelSample",
     "CommandDelayTrace",
     "WirelessChannel",
+    "trace_from_delays",
     "Ieee80211DelayModel",
     "RetransmissionDistribution",
     "causality_violation_probability",
     "expected_delay_bound",
     "GilbertElliottJammer",
     "JammerConfig",
+    "sample_jammer_delays_batch",
     "ConsecutiveLossInjector",
     "LossPattern",
     "PeriodicLossInjector",
     "RandomLossInjector",
+    "HandoverChannel",
+    "HandoverConfig",
+    "MarkovChannelConfig",
+    "MarkovModulatedChannel",
+    "sample_handover_delays_batch",
+    "sample_markov_delays_batch",
 ]

@@ -28,16 +28,28 @@ average, it diverges for lost commands, and consecutive commands can see
 wildly different delays (causality violation) whenever a burst begins or ends.
 The output is a :class:`CommandDelayTrace`, a light container the recovery
 engine and the driver consume.
+
+Sampling comes in two flavours with one randomness contract:
+
+* :meth:`WirelessChannel.sample_trace` — the serial reference path, one
+  repetition at a time.  It is the bit-equality oracle for the batched path.
+* :meth:`WirelessChannel.sample_delays_batch` — ``B`` repetitions advanced in
+  lockstep ``(B, n)`` NumPy arrays (one Python iteration per command instead
+  of one per command per repetition).  Row ``b`` consumes the RNG stream of
+  ``seeds[b]`` exactly as the serial path would, and the queue recursion is
+  the same Lindley-style ``start = max(arrival, server_free)`` update applied
+  elementwise, so the stacked result is bit-identical to ``B`` serial runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from .._validation import ensure_int, ensure_positive, ensure_probability, rng_from
 from ..des.jackson import TransportNetworkModel
+from ..errors import ConfigurationError
 from .bianchi import DcfParameters, InterferenceSource
 from .delay_model import Ieee80211DelayModel
 
@@ -104,6 +116,17 @@ class CommandDelayTrace:
         return longest
 
 
+def trace_from_delays(delays: np.ndarray) -> CommandDelayTrace:
+    """Wrap a per-command delay array (``inf`` = lost) in a trace container."""
+    trace = CommandDelayTrace()
+    for index, delay in enumerate(delays):
+        lost = bool(np.isinf(delay))
+        trace.samples.append(
+            ChannelSample(index=index, delay_ms=float(delay), lost=lost)
+        )
+    return trace
+
+
 class WirelessChannel:
     """End-to-end command delay sampler for an 802.11 link with interference.
 
@@ -116,7 +139,8 @@ class WirelessChannel:
     command_period_ms:
         Command inter-arrival time Ω in milliseconds (paper: 20 ms).
     queue_capacity:
-        Access-point buffer size ``Q`` of the G/HEXP/1/Q model.
+        Access-point buffer size ``Q`` of the G/HEXP/1/Q model: an arriving
+        command that finds ``Q`` commands in the system is dropped.
     transport:
         Optional transport-network model; ``None`` means the negligible
         transport delay assumed in §VI-C (``D ≈ 0``).
@@ -136,8 +160,10 @@ class WirelessChannel:
         Probability that a command whose transmission was blocked by an
         interference burst exhausts the 802.11 retry limit and is dropped.
     dcf_params:
-        Optional full DCF parameter set for the contention model; its station
-        count is overridden by ``n_robots``.
+        Optional full DCF parameter set for the contention model.  The object
+        is copied — its station count and interference term are overridden on
+        the copy, never on the caller's instance — so one parameter set can
+        safely configure several channels.
     seed:
         RNG seed for reproducible traces.
     """
@@ -170,19 +196,18 @@ class WirelessChannel:
         self.rng = rng_from(seed)
 
         # Contention model: Bianchi DCF for n stations, no interference term
-        # (interference is realised in the time domain below).
-        contention_params = dcf_params if dcf_params is not None else DcfParameters()
-        contention_params.n_stations = n_robots
-        contention_params.interference = InterferenceSource()
+        # (interference is realised in the time domain below).  The caller's
+        # dcf_params is copied, not mutated.
+        base_params = dcf_params if dcf_params is not None else DcfParameters()
+        contention_params = replace(
+            base_params, n_stations=n_robots, interference=InterferenceSource()
+        )
         self.params = contention_params
         self.contention_model = Ieee80211DelayModel(contention_params)
 
         # Interference-aware analytical model (used for the Appendix results
         # and the analytical late-probability estimate).
-        analytic_params = DcfParameters(**{
-            **contention_params.__dict__,
-            "interference": self.interference,
-        })
+        analytic_params = replace(contention_params, interference=self.interference)
         self.delay_model = Ieee80211DelayModel(analytic_params)
 
     # --------------------------------------------------------------- bursts
@@ -210,17 +235,20 @@ class WirelessChannel:
         on = self.burst_duration_ms()
         return on / (on + self.mean_gap_ms())
 
-    def _interference_intervals(self, horizon_ms: float) -> list[tuple[float, float]]:
+    def _interference_intervals(
+        self, horizon_ms: float, rng: np.random.Generator | None = None
+    ) -> list[tuple[float, float]]:
         """Sample the ON intervals of the interferer over ``[0, horizon_ms]``."""
+        rng = self.rng if rng is None else rng
         intervals: list[tuple[float, float]] = []
         if not self.interference.is_active:
             return intervals
         on = self.burst_duration_ms()
         gap_mean = self.mean_gap_ms()
-        t = float(self.rng.exponential(gap_mean))
+        t = float(rng.exponential(gap_mean))
         while t < horizon_ms:
             intervals.append((t, t + on))
-            t += on + float(self.rng.exponential(gap_mean))
+            t += on + float(rng.exponential(gap_mean))
         return intervals
 
     # ------------------------------------------------------------ sampling
@@ -254,7 +282,47 @@ class WirelessChannel:
             trace.samples.append(ChannelSample(index=index, delay_ms=total, lost=False))
         return trace
 
-    def _medium_delays(self, n_commands: int) -> np.ndarray:
+    def _draw_queue_randomness(self, rng: np.random.Generator, n_commands: int):
+        """All random inputs of the queue simulation, in fixed block order.
+
+        Both the serial and the batched path consume one repetition's RNG
+        stream through this helper — interference intervals first, then the
+        per-command service times, block, air-loss and interference-loss
+        draws as whole arrays — so a given seed yields the same randomness on
+        either path by construction.
+        """
+        service_dist = self.contention_model.service_distribution()
+        horizon_ms = (n_commands + 1) * self.command_period_ms
+        intervals = self._interference_intervals(horizon_ms, rng)
+        work = service_dist.sample_many(rng, n_commands)
+        blocked = rng.random(n_commands) < self.interference_block_probability
+        base_lost = rng.random(n_commands) < self.contention_model.loss_probability
+        interference_lost = rng.random(n_commands) < self.interference_loss_probability
+        return intervals, work, blocked, base_lost, interference_lost
+
+    @staticmethod
+    def _advance_through_interference(
+        intervals: list[tuple[float, float]], start: float, work_ms: float
+    ) -> tuple[float, bool]:
+        """Return (completion time, overlapped_interference) for ``work_ms``
+        of transmission work beginning at ``start``."""
+        t = start
+        remaining = work_ms
+        overlapped = False
+        for on_start, on_end in intervals:
+            if on_end <= t:
+                continue
+            if t + remaining <= on_start:
+                break
+            overlapped = True
+            # Work until the burst begins, then wait the burst out.
+            remaining -= max(0.0, on_start - t)
+            t = on_end
+        return t + max(0.0, remaining), overlapped
+
+    def _medium_delays(
+        self, n_commands: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         """Per-command sojourn times through the AP queue with interference.
 
         The access point is a single server with a finite buffer ``Q``.
@@ -264,56 +332,153 @@ class WirelessChannel:
         transmission overlaps a burst is dropped with
         ``interference_loss_probability`` (retry limit exceeded); the
         contention model additionally contributes its own air-loss
-        probability.  Arrivals that find the buffer full are dropped.
-        """
-        service_dist = self.contention_model.service_distribution()
-        base_loss = self.contention_model.loss_probability
-        horizon_ms = (n_commands + 1) * self.command_period_ms
-        intervals = self._interference_intervals(horizon_ms)
+        probability.  Arrivals that find the buffer full (``Q`` commands in
+        the system) are dropped.
 
-        def advance_through_interference(start: float, work_ms: float) -> tuple[float, bool]:
-            """Return (completion time, overlapped_interference) for ``work_ms``
-            of transmission work beginning at ``start``."""
-            t = start
-            remaining = work_ms
-            overlapped = False
-            for on_start, on_end in intervals:
-                if on_end <= t:
-                    continue
-                if t + remaining <= on_start:
-                    break
-                overlapped = True
-                # Work until the burst begins, then wait the burst out.
-                remaining -= max(0.0, on_start - t)
-                t = max(t, on_start)
-                t = on_end
-            return t + max(0.0, remaining), overlapped
+        This is the serial reference implementation — the bit-equality
+        oracle for :meth:`sample_delays_batch`.
+        """
+        rng = self.rng if rng is None else rng
+        intervals, work, blocked, base_lost, interference_lost = self._draw_queue_randomness(
+            rng, n_commands
+        )
 
         delays = np.full(n_commands, np.inf)
         server_free = 0.0
-        completion_times: list[float] = []
+        completions: list[float] = []
+        drained = 0  # completions[:drained] are <= the current arrival
         for index in range(n_commands):
             arrival = index * self.command_period_ms
-            backlog = sum(1 for c in completion_times if c > arrival)
-            if backlog > self.queue_capacity:
-                continue  # buffer overflow: command dropped
+            while drained < len(completions) and completions[drained] <= arrival:
+                drained += 1
+            if len(completions) - drained >= self.queue_capacity:
+                continue  # buffer full: command dropped
             start = max(arrival, server_free)
-            work = float(service_dist.sample(self.rng))
-            if self.rng.random() < self.interference_block_probability:
-                completion, overlapped = advance_through_interference(start, work)
+            if blocked[index]:
+                completion, overlapped = self._advance_through_interference(
+                    intervals, start, float(work[index])
+                )
             else:
                 # PHY capture / narrowband jammer: the short frame slips
                 # through even if the interferer is nominally active.
-                completion, overlapped = start + work, False
+                completion, overlapped = start + float(work[index]), False
             server_free = completion
-            completion_times.append(completion)
-            if len(completion_times) > self.queue_capacity + 1:
-                completion_times = completion_times[-(self.queue_capacity + 1) :]
-            lost = self.rng.random() < base_loss
-            if overlapped and self.rng.random() < self.interference_loss_probability:
+            completions.append(completion)
+            lost = bool(base_lost[index])
+            if overlapped and interference_lost[index]:
                 lost = True
             if not lost:
                 delays[index] = completion - arrival
+        return delays
+
+    def sample_delays_batch(self, n_commands: int, seeds) -> np.ndarray:
+        """``(B, n)`` per-command delays for ``B`` independent repetitions.
+
+        Row ``b`` is bit-identical to ``rng = rng_from(seeds[b])`` followed by
+        the serial :meth:`_medium_delays` — same RNG stream, same queue
+        recursion — but all rows advance together through one vectorized
+        Lindley update (``start = max(arrival, server_free)``) per command,
+        so the Python-interpreter cost is paid once per command instead of
+        once per command per repetition.
+
+        The lockstep pass is *optimistic about admission*: it assumes every
+        arrival fits in the buffer, which keeps backlog bookkeeping out of
+        the hot loop.  A vectorized post-check recomputes the backlog every
+        command would have seen (one ``searchsorted`` per row over the
+        monotone completion times); the rare rows whose backlog ever reaches
+        the buffer capacity are re-sampled through the serial oracle, whose
+        drop handling is exact by definition.
+        """
+        n_commands = ensure_int("n_commands", n_commands, minimum=1)
+        if self.transport is not None:
+            raise ConfigurationError(
+                "sample_delays_batch models the wireless medium only; "
+                "sample per-repetition traces serially when a transport model is attached"
+            )
+        seeds = list(seeds)
+        if not seeds:
+            raise ConfigurationError("sample_delays_batch needs at least one seed")
+        batch = len(seeds)
+        drawn = [self._draw_queue_randomness(rng_from(seed), n_commands) for seed in seeds]
+        work_columns = np.ascontiguousarray(np.stack([d[1] for d in drawn]).T)
+        blocked_columns = np.ascontiguousarray(np.stack([d[2] for d in drawn]).T)
+        base_lost = np.stack([d[3] for d in drawn])
+        interference_lost = np.stack([d[4] for d in drawn])
+
+        # Pad each row's interference intervals to a common width; the +inf
+        # sentinel column keeps the per-row interval pointer in bounds.
+        widest = max(len(d[0]) for d in drawn)
+        on_start = np.full((batch, widest + 1), np.inf)
+        on_end = np.full((batch, widest + 1), np.inf)
+        for row, d in enumerate(drawn):
+            for j, (interval_start, interval_end) in enumerate(d[0]):
+                on_start[row, j] = interval_start
+                on_end[row, j] = interval_end
+        any_interference = widest > 0
+
+        rows = np.arange(batch)
+        period = self.command_period_ms
+        completion_columns = np.empty((n_commands, batch))
+        overlapped_columns = np.zeros((n_commands, batch), dtype=bool)
+        server_free = np.zeros(batch)
+        iptr = np.zeros(batch, dtype=np.intp)  # first interval with on_end > start
+
+        for index in range(n_commands):
+            start = np.maximum(index * period, server_free)
+            work_now = work_columns[index]
+            if any_interference:
+                # Catch the interval pointer up to the service start time
+                # (the serial scan's ``on_end <= t: continue``).
+                while True:
+                    move = on_end[rows, iptr] <= start
+                    if not move.any():
+                        break
+                    iptr += move
+                blocked_now = blocked_columns[index]
+                engage = blocked_now & (start + work_now > on_start[rows, iptr])
+                if engage.any():
+                    overlapped = np.zeros(batch, dtype=bool)
+                    t = start.copy()
+                    remaining = work_now.copy()
+                    active = engage
+                    while True:
+                        overlapped |= active
+                        shaved = remaining - np.maximum(0.0, on_start[rows, iptr] - t)
+                        remaining = np.where(active, shaved, remaining)
+                        t = np.where(active, on_end[rows, iptr], t)
+                        iptr = np.where(active, iptr + 1, iptr)
+                        active = active & (t + remaining > on_start[rows, iptr])
+                        if not active.any():
+                            break
+                    stretched = t + np.maximum(0.0, remaining)
+                    completion = np.where(blocked_now, stretched, start + work_now)
+                    overlapped_columns[index] = overlapped
+                else:
+                    # No service crosses a burst this slot: the stretched
+                    # completion ``t + max(0, remaining)`` degenerates to
+                    # ``start + work`` for blocked rows too.
+                    completion = start + work_now
+            else:
+                completion = start + work_now
+            completion_columns[index] = completion
+            server_free = completion
+
+        completions = np.ascontiguousarray(completion_columns.T)
+        arrivals = np.arange(n_commands) * period
+        lost = base_lost | (overlapped_columns.T & interference_lost)
+        delays = np.where(lost, np.inf, completions - arrivals[None, :])
+
+        # Admission repair: the backlog command ``i`` finds is the number of
+        # earlier admitted commands still in the system, ``i - #{completion
+        # <= arrival_i}``.  Rows that never hit the buffer capacity took no
+        # drops, so the optimistic pass already matches the serial oracle;
+        # the rest are re-sampled serially (drops reshape their timeline).
+        capacity = self.queue_capacity
+        indices = np.arange(n_commands)
+        for row in range(batch):
+            in_system = indices - np.searchsorted(completions[row], arrivals, side="right")
+            if np.any(in_system >= capacity):
+                delays[row] = self._medium_delays(n_commands, rng_from(seeds[row]))
         return delays
 
     def _direct_delays(self, n_commands: int) -> np.ndarray:

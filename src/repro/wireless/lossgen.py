@@ -15,6 +15,11 @@ indices are lost):
   (deterministic variant used in tests and ablations).
 * :class:`RandomLossInjector` — i.i.d. Bernoulli losses (a memoryless
   baseline for comparison in ablation benches).
+
+Every injector also exposes :meth:`LossPattern.lost_mask_batch`, which stacks
+``B`` independent realisations (one per seed) into a ``(B, n)`` mask without
+touching the injector's own RNG — row ``b`` is bit-identical to what a fresh
+injector seeded with ``seeds[b]`` would produce.
 """
 
 from __future__ import annotations
@@ -32,8 +37,28 @@ class LossPattern(abc.ABC):
     """Common interface of controlled loss injectors."""
 
     @abc.abstractmethod
+    def _lost_mask(self, rng: np.random.Generator, n_commands: int) -> np.ndarray:
+        """Draw one loss-mask realisation from ``rng``."""
+
     def lost_mask(self, n_commands: int) -> np.ndarray:
         """Boolean array of length ``n_commands``; True marks a lost command."""
+        return self._lost_mask(self.rng, n_commands)
+
+    def lost_mask_batch(self, n_commands: int, seeds) -> np.ndarray:
+        """``(B, n)`` stacked loss masks, one independent realisation per seed.
+
+        The injector's own RNG is left untouched; row ``b`` equals the mask a
+        fresh injector constructed with ``seed=seeds[b]`` would draw.
+        """
+        seeds = list(seeds)
+        if not seeds:
+            raise ConfigurationError("lost_mask_batch needs at least one seed")
+        return np.stack([self._lost_mask(rng_from(seed), n_commands) for seed in seeds])
+
+    def to_delays(self, n_commands: int, nominal_delay_ms: float = 1.0) -> np.ndarray:
+        """Per-command delay array: ``nominal_delay_ms`` or ``inf`` when lost."""
+        mask = self.lost_mask(n_commands)
+        return np.where(mask, np.inf, float(nominal_delay_ms))
 
     def to_trace(self, n_commands: int, nominal_delay_ms: float = 1.0) -> CommandDelayTrace:
         """Convert the loss mask into a :class:`CommandDelayTrace`.
@@ -80,7 +105,7 @@ class ConsecutiveLossInjector(LossPattern):
         self.min_gap = ensure_int("min_gap", min_gap, minimum=0)
         self.rng = rng_from(seed)
 
-    def lost_mask(self, n_commands: int) -> np.ndarray:
+    def _lost_mask(self, rng: np.random.Generator, n_commands: int) -> np.ndarray:
         n_commands = ensure_int("n_commands", n_commands, minimum=1)
         required = self.n_bursts * (self.burst_length + self.min_gap)
         if required > n_commands:
@@ -91,7 +116,7 @@ class ConsecutiveLossInjector(LossPattern):
         mask = np.zeros(n_commands, dtype=bool)
         # Place bursts left-to-right with random slack so they never overlap.
         slack_total = n_commands - required
-        slacks = self.rng.multinomial(slack_total, np.ones(self.n_bursts + 1) / (self.n_bursts + 1))
+        slacks = rng.multinomial(slack_total, np.ones(self.n_bursts + 1) / (self.n_bursts + 1))
         cursor = int(slacks[0]) + self.min_gap // 2
         for burst in range(self.n_bursts):
             start = min(cursor, n_commands - self.burst_length)
@@ -107,10 +132,11 @@ class PeriodicLossInjector(LossPattern):
         self.burst_length = ensure_int("burst_length", burst_length, minimum=1)
         self.period = ensure_int("period", period, minimum=1)
         self.offset = ensure_int("offset", offset, minimum=0)
+        self.rng = rng_from(None)  # unused: the pattern is deterministic
         if self.burst_length >= self.period:
             raise ConfigurationError("burst_length must be smaller than period")
 
-    def lost_mask(self, n_commands: int) -> np.ndarray:
+    def _lost_mask(self, rng: np.random.Generator, n_commands: int) -> np.ndarray:
         n_commands = ensure_int("n_commands", n_commands, minimum=1)
         mask = np.zeros(n_commands, dtype=bool)
         start = self.offset
@@ -127,6 +153,6 @@ class RandomLossInjector(LossPattern):
         self.loss_probability = ensure_probability("loss_probability", loss_probability)
         self.rng = rng_from(seed)
 
-    def lost_mask(self, n_commands: int) -> np.ndarray:
+    def _lost_mask(self, rng: np.random.Generator, n_commands: int) -> np.ndarray:
         n_commands = ensure_int("n_commands", n_commands, minimum=1)
-        return self.rng.random(n_commands) < self.loss_probability
+        return rng.random(n_commands) < self.loss_probability

@@ -1,0 +1,317 @@
+"""Time-varying channel models: Markov-modulated interference and AP handover.
+
+The paper's evaluation drives every scenario with a *single* interference
+cause (one AP queue, one jammer, one controlled loss pattern).  Real
+deployments superpose heterogeneous traffic whose burstiness survives
+aggregation — the regime studied by López-Oliveros & Resnick ("On the
+superposition of heterogeneous traffic at large time scales") — and roam
+between access points.  This module adds the two missing workload classes:
+
+* :class:`MarkovModulatedChannel` — a ``K``-state Markov chain over channel
+  *regimes* (e.g. idle / contended / swamped), each with its own mean delay
+  and loss probability.  It generalises the two-state Gilbert–Elliott jammer
+  and, composed through a ``"compound"`` channel spec, expresses superposed
+  heterogeneous interference sources directly.
+* :class:`HandoverChannel` — periodic delay spikes and loss gaps modelling an
+  802.11 station roaming between access points: every ``period`` commands the
+  link drops for ``outage`` commands (reassociation) and then carries an
+  exponentially decaying delay spike while buffers drain.
+
+Both samplers follow the channel-layer randomness contract: the serial path
+draws its variates in fixed block order and acts as the bit-equality oracle
+for the ``(B, n)`` batched path, which advances all repetitions in lockstep
+NumPy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import ensure_int, ensure_positive, ensure_probability, rng_from
+from ..errors import ChannelError, ConfigurationError
+from .channel import CommandDelayTrace, trace_from_delays
+
+
+@dataclass
+class MarkovChannelConfig:
+    """``K``-state Markov-modulated delay/loss regimes.
+
+    Attributes
+    ----------
+    transition:
+        Row-stochastic ``K × K`` matrix of per-command regime transition
+        probabilities (rows must sum to one).
+    delay_means_ms:
+        Mean command delay (exponentially distributed) in each regime.
+    loss_probabilities:
+        Command-loss probability in each regime.
+    start_state:
+        Regime the chain starts in (default: the first, conventionally the
+        mildest).
+
+    The defaults model three regimes of a shared 2.4 GHz band: *idle*
+    (nominal delay, negligible loss), *contended* (neighbouring traffic
+    bursts) and *swamped* (a wideband interferer parks on the channel).
+    """
+
+    transition: tuple[tuple[float, ...], ...] = (
+        (0.96, 0.035, 0.005),
+        (0.10, 0.85, 0.05),
+        (0.05, 0.10, 0.85),
+    )
+    delay_means_ms: tuple[float, ...] = (2.0, 12.0, 45.0)
+    loss_probabilities: tuple[float, ...] = (0.002, 0.05, 0.60)
+    start_state: int = 0
+
+    def __post_init__(self) -> None:
+        rows = tuple(tuple(float(p) for p in row) for row in self.transition)
+        self.transition = rows
+        k = len(rows)
+        if k == 0:
+            raise ConfigurationError("transition matrix needs at least one state")
+        for row in rows:
+            if len(row) != k:
+                raise ConfigurationError("transition matrix must be square")
+            for p in row:
+                ensure_probability("transition probability", p)
+            if not np.isclose(sum(row), 1.0, atol=1e-6):
+                raise ConfigurationError(
+                    f"transition rows must sum to 1, got {sum(row)!r}"
+                )
+        self.delay_means_ms = tuple(float(d) for d in self.delay_means_ms)
+        self.loss_probabilities = tuple(float(p) for p in self.loss_probabilities)
+        if len(self.delay_means_ms) != k or len(self.loss_probabilities) != k:
+            raise ConfigurationError(
+                "delay_means_ms and loss_probabilities must have one entry per state"
+            )
+        for delay in self.delay_means_ms:
+            ensure_positive("delay_means_ms", delay)
+        for p in self.loss_probabilities:
+            ensure_probability("loss_probabilities", p)
+        self.start_state = ensure_int("start_state", self.start_state, minimum=0)
+        if self.start_state >= k:
+            raise ConfigurationError(
+                f"start_state must be < {k}, got {self.start_state}"
+            )
+
+    @property
+    def n_states(self) -> int:
+        """Number of channel regimes ``K``."""
+        return len(self.transition)
+
+    def cumulative_transition(self) -> np.ndarray:
+        """Per-row cumulative transition probabilities (last column forced to 1).
+
+        Shared by the serial and batched samplers so both map a transition
+        uniform to the identical next state.
+        """
+        cumulative = np.cumsum(np.asarray(self.transition, dtype=float), axis=1)
+        cumulative[:, -1] = 1.0
+        return cumulative
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary regime occupancy ``π`` with ``π P = π``."""
+        matrix = np.asarray(self.transition, dtype=float)
+        k = matrix.shape[0]
+        system = np.vstack([matrix.T - np.eye(k), np.ones((1, k))])
+        target = np.concatenate([np.zeros(k), [1.0]])
+        solution, *_ = np.linalg.lstsq(system, target, rcond=None)
+        return np.clip(solution, 0.0, None) / np.clip(solution, 0.0, None).sum()
+
+    def mean_loss_rate(self) -> float:
+        """Long-run command-loss rate under the stationary regime mix."""
+        return float(np.dot(self.stationary_distribution(), self.loss_probabilities))
+
+
+class MarkovModulatedChannel:
+    """Channel whose delay/loss regime follows a ``K``-state Markov chain.
+
+    The object is stateful like the jammer: successive :meth:`sample_delays`
+    calls continue the regime chain from where the previous call stopped.
+    """
+
+    def __init__(
+        self,
+        config: MarkovChannelConfig | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = config if config is not None else MarkovChannelConfig()
+        self.rng = rng_from(seed)
+        self.state = self.config.start_state
+        self._cumulative = self.config.cumulative_transition()
+
+    def reset(self) -> None:
+        """Return the chain to its configured start regime."""
+        self.state = self.config.start_state
+
+    def _scan_states(self, step_uniforms: np.ndarray) -> np.ndarray:
+        """Advance the regime chain through pre-drawn transition uniforms."""
+        cumulative = self._cumulative
+        states = np.empty(step_uniforms.size, dtype=np.intp)
+        state = self.state
+        for index, uniform in enumerate(step_uniforms):
+            state = int(np.argmax(uniform < cumulative[state]))
+            states[index] = state
+        return states
+
+    def sample_delays(self, n_commands: int) -> np.ndarray:
+        """Per-command delays (ms, ``inf`` = lost), block-ordered randomness.
+
+        Serial reference path — the bit-equality oracle for
+        :func:`sample_markov_delays_batch`.
+        """
+        if n_commands <= 0:
+            raise ChannelError("n_commands must be positive")
+        n_commands = int(n_commands)
+        config = self.config
+        states = self._scan_states(self.rng.random(n_commands))
+        self.state = int(states[-1])
+        loss_probability = np.asarray(config.loss_probabilities)[states]
+        mean_delay = np.asarray(config.delay_means_ms)[states]
+        lost = self.rng.random(n_commands) < loss_probability
+        delays = self.rng.exponential(mean_delay)
+        return np.where(lost, np.inf, delays)
+
+    def sample_trace(self, n_commands: int) -> CommandDelayTrace:
+        """Sample ``n_commands`` consecutive commands as a delay trace."""
+        return trace_from_delays(self.sample_delays(n_commands))
+
+
+def sample_markov_delays_batch(
+    config: MarkovChannelConfig | None, n_commands: int, seeds
+) -> np.ndarray:
+    """``(B, n)`` Markov-modulated delays, one independent chain per seed.
+
+    Row ``b`` is bit-identical to
+    ``MarkovModulatedChannel(config, seed=seeds[b]).sample_delays(n)``: each
+    row consumes its own RNG stream in the same block order while the regime
+    chains advance in lockstep ``(B,)`` vector steps.
+    """
+    if n_commands <= 0:
+        raise ChannelError("n_commands must be positive")
+    n_commands = int(n_commands)
+    config = config if config is not None else MarkovChannelConfig()
+    seeds = list(seeds)
+    if not seeds:
+        raise ChannelError("sample_markov_delays_batch needs at least one seed")
+    rngs = [rng_from(seed) for seed in seeds]
+    batch = len(rngs)
+    cumulative = config.cumulative_transition()
+    step_uniforms = np.stack([rng.random(n_commands) for rng in rngs])
+
+    states = np.empty((batch, n_commands), dtype=np.intp)
+    state = np.full(batch, config.start_state, dtype=np.intp)
+    for index in range(n_commands):
+        state = np.argmax(step_uniforms[:, index, None] < cumulative[state], axis=1)
+        states[:, index] = state
+
+    loss_probability = np.asarray(config.loss_probabilities)[states]
+    mean_delay = np.asarray(config.delay_means_ms)[states]
+    delays = np.empty((batch, n_commands))
+    for row, rng in enumerate(rngs):
+        lost = rng.random(n_commands) < loss_probability[row]
+        variates = rng.exponential(mean_delay[row])
+        delays[row] = np.where(lost, np.inf, variates)
+    return delays
+
+
+@dataclass
+class HandoverConfig:
+    """Periodic AP-roaming profile: loss gaps plus decaying delay spikes.
+
+    Attributes
+    ----------
+    period:
+        Commands between consecutive handovers (250 ≈ one roam every 5 s at
+        the paper's 50 Hz command rate).
+    outage:
+        Commands lost during each reassociation gap.
+    spike_delay_ms:
+        Extra delay of the first command after reattachment (buffered
+        commands drain through the new AP).
+    spike_decay_commands:
+        Exponential decay constant of the spike, in commands.
+    nominal_delay_ms:
+        Steady-state delay between handovers.
+    """
+
+    period: int = 250
+    outage: int = 15
+    spike_delay_ms: float = 30.0
+    spike_decay_commands: float = 10.0
+    nominal_delay_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        self.period = ensure_int("period", self.period, minimum=2)
+        self.outage = ensure_int("outage", self.outage, minimum=1)
+        if self.outage >= self.period:
+            raise ConfigurationError("outage must be smaller than period")
+        ensure_positive("spike_delay_ms", self.spike_delay_ms)
+        ensure_positive("spike_decay_commands", self.spike_decay_commands)
+        ensure_positive("nominal_delay_ms", self.nominal_delay_ms)
+
+
+def _handover_delays_for_offsets(
+    config: HandoverConfig, n_commands: int, offsets: np.ndarray
+) -> np.ndarray:
+    """``(B, n)`` handover delays for per-repetition phase ``offsets``.
+
+    Pure elementwise formula shared by the serial and batched paths, so both
+    produce identical floats for the same offset.
+    """
+    phase = (np.arange(n_commands)[None, :] + offsets[:, None]) % config.period
+    since_attach = phase - config.outage
+    spike = config.spike_delay_ms * np.exp(-since_attach / config.spike_decay_commands)
+    delays = config.nominal_delay_ms + spike
+    return np.where(phase < config.outage, np.inf, delays)
+
+
+class HandoverChannel:
+    """Deterministic roaming profile with a seed-derived phase offset.
+
+    Each realisation shifts the handover schedule by a uniformly drawn phase
+    (one RNG draw), so repetitions see the outages at different points of the
+    run while the profile itself stays exactly reproducible.
+    """
+
+    def __init__(
+        self,
+        config: HandoverConfig | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = config if config is not None else HandoverConfig()
+        self.rng = rng_from(seed)
+
+    def sample_delays(self, n_commands: int) -> np.ndarray:
+        """Per-command delays (ms, ``inf`` = lost) for one realisation."""
+        if n_commands <= 0:
+            raise ChannelError("n_commands must be positive")
+        offset = int(self.rng.integers(self.config.period))
+        offsets = np.array([offset])
+        return _handover_delays_for_offsets(self.config, int(n_commands), offsets)[0]
+
+    def sample_trace(self, n_commands: int) -> CommandDelayTrace:
+        """Sample ``n_commands`` consecutive commands as a delay trace."""
+        return trace_from_delays(self.sample_delays(n_commands))
+
+
+def sample_handover_delays_batch(
+    config: HandoverConfig | None, n_commands: int, seeds
+) -> np.ndarray:
+    """``(B, n)`` handover delays, one phase offset per seed.
+
+    Row ``b`` is bit-identical to
+    ``HandoverChannel(config, seed=seeds[b]).sample_delays(n)``.
+    """
+    if n_commands <= 0:
+        raise ChannelError("n_commands must be positive")
+    config = config if config is not None else HandoverConfig()
+    seeds = list(seeds)
+    if not seeds:
+        raise ChannelError("sample_handover_delays_batch needs at least one seed")
+    offsets = np.array(
+        [int(rng_from(seed).integers(config.period)) for seed in seeds]
+    )
+    return _handover_delays_for_offsets(config, int(n_commands), offsets)

@@ -75,7 +75,9 @@ def test_recovery_stats_are_consistent(delays):
     burst_start=st.integers(10, 60),
     burst_length=st.integers(1, 30),
 )
-def test_simulation_trajectories_have_consistent_lengths(burst_start, burst_length, trained_recovery, inexperienced_stream):
+def test_simulation_trajectories_have_consistent_lengths(
+    burst_start, burst_length, trained_recovery, inexperienced_stream
+):
     """Invariant: defined, baseline and FoReCo trajectories always align."""
     n = 120
     commands = inexperienced_stream.commands[:n]

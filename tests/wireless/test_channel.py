@@ -5,8 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.des.distributions import Deterministic
 from repro.des.jackson import TransportNetworkModel
-from repro.wireless import InterferenceSource, WirelessChannel
+from repro.errors import ConfigurationError
+from repro.wireless import DcfParameters, InterferenceSource, WirelessChannel
 from repro.wireless.channel import ChannelSample, CommandDelayTrace
 
 
@@ -106,3 +108,72 @@ def test_trace_reproducible_with_seed():
     a = WirelessChannel(n_robots=5, interference=InterferenceSource(0.025, 50), seed=42)
     b = WirelessChannel(n_robots=5, interference=InterferenceSource(0.025, 50), seed=42)
     assert np.array_equal(a.sample_trace(300).delays(), b.sample_trace(300).delays())
+
+
+def test_dcf_params_not_mutated_by_channel():
+    """Regression: one DcfParameters instance can configure several channels.
+
+    The constructor used to override ``n_stations`` and ``interference`` on
+    the caller's object in place, so the second channel silently inherited
+    the first one's station count."""
+    shared = DcfParameters(n_stations=7)
+    original_interference = shared.interference
+    first = WirelessChannel(n_robots=5, dcf_params=shared)
+    second = WirelessChannel(
+        n_robots=25, dcf_params=shared, interference=InterferenceSource(0.05, 100)
+    )
+    assert shared.n_stations == 7
+    assert shared.interference is original_interference
+    assert first.params.n_stations == 5
+    assert second.params.n_stations == 25
+
+
+class _UnitContention:
+    """Stub contention model: deterministic service, no air loss."""
+
+    def __init__(self, service_ms: float) -> None:
+        self._service = Deterministic(service_ms)
+        self.loss_probability = 0.0
+
+    def service_distribution(self) -> Deterministic:
+        return self._service
+
+
+def test_queue_capacity_one_admits_one_command():
+    """Regression: a buffer of capacity ``Q`` holds ``Q`` commands, not ``Q+1``.
+
+    With a 30 ms deterministic service, 20 ms arrivals and ``Q = 1``, every
+    other command must find the single buffer slot occupied and be dropped;
+    the old ``backlog > Q`` admission admitted the whole stream and let the
+    sojourn time grow without bound."""
+    channel = WirelessChannel(n_robots=5, queue_capacity=1, seed=0)
+    channel.contention_model = _UnitContention(30.0)
+    delays = channel._medium_delays(12)
+    assert np.array_equal(np.isfinite(delays), np.arange(12) % 2 == 0)
+    # Admitted commands wait only for their own service: the backlog that the
+    # unbounded-admission bug accumulated can no longer build up.
+    assert np.all(delays[np.isfinite(delays)] == 30.0)
+    # The batched path applies the same admission rule.
+    batched = channel.sample_delays_batch(12, [0, 1, 2])
+    assert np.array_equal(np.isfinite(batched), np.tile(np.arange(12) % 2 == 0, (3, 1)))
+
+
+def test_batched_sampling_matches_serial_oracle():
+    """(B, n) batched rows are bit-identical to per-seed serial sampling."""
+    channel = WirelessChannel(n_robots=25, interference=InterferenceSource(0.05, 100))
+    seeds = [3, 17, 123456789]
+    batched = channel.sample_delays_batch(400, seeds)
+    assert batched.shape == (3, 400)
+    for row, seed in enumerate(seeds):
+        serial = WirelessChannel(
+            n_robots=25, interference=InterferenceSource(0.05, 100), seed=seed
+        ).sample_trace(400).delays()
+        assert np.array_equal(batched[row], serial)
+
+
+def test_batched_sampling_rejects_transport_and_empty_seeds():
+    channel = WirelessChannel(n_robots=5, transport=TransportNetworkModel(bound_ms=2.0, seed=0))
+    with pytest.raises(ConfigurationError):
+        channel.sample_delays_batch(100, [1, 2])
+    with pytest.raises(ConfigurationError):
+        WirelessChannel(n_robots=5).sample_delays_batch(100, [])

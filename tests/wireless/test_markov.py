@@ -1,0 +1,114 @@
+"""Tests for the time-varying channel models (Markov regimes, AP handover)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelError, ConfigurationError
+from repro.wireless import (
+    HandoverChannel,
+    HandoverConfig,
+    MarkovChannelConfig,
+    MarkovModulatedChannel,
+    sample_handover_delays_batch,
+    sample_markov_delays_batch,
+)
+
+#: Two-regime chain with a sticky bad state, for burstiness checks.
+BURSTY = MarkovChannelConfig(
+    transition=((0.95, 0.05), (0.15, 0.85)),
+    delay_means_ms=(2.0, 40.0),
+    loss_probabilities=(0.0, 0.7),
+)
+
+
+# --------------------------------------------------------------------- markov
+def test_markov_config_validation():
+    with pytest.raises(ConfigurationError):
+        MarkovChannelConfig(transition=((0.5, 0.5), (1.0,)))  # not square
+    with pytest.raises(ConfigurationError):
+        MarkovChannelConfig(transition=((0.7, 0.2), (0.5, 0.5)))  # row sum != 1
+    with pytest.raises(ConfigurationError):
+        MarkovChannelConfig(delay_means_ms=(1.0,))  # wrong length
+    with pytest.raises(ConfigurationError):
+        MarkovChannelConfig(start_state=9)
+    with pytest.raises(ChannelError):
+        MarkovModulatedChannel(seed=0).sample_delays(0)
+
+
+def test_markov_stationary_distribution_and_loss_rate():
+    pi = BURSTY.stationary_distribution()
+    assert pi == pytest.approx([0.75, 0.25])
+    assert BURSTY.mean_loss_rate() == pytest.approx(0.25 * 0.7)
+    # The empirical loss rate converges to the stationary prediction.
+    delays = MarkovModulatedChannel(BURSTY, seed=0).sample_delays(30000)
+    assert np.isinf(delays).mean() == pytest.approx(BURSTY.mean_loss_rate(), abs=0.02)
+
+
+def test_markov_losses_are_bursty():
+    from repro.wireless import trace_from_delays
+
+    trace = trace_from_delays(MarkovModulatedChannel(BURSTY, seed=1).sample_delays(4000))
+    # Regime persistence produces outage runs far beyond i.i.d. losses.
+    assert trace.longest_outage(20.0) >= 5
+
+
+def test_markov_chain_state_persists_across_calls():
+    channel = MarkovModulatedChannel(BURSTY, seed=2)
+    channel.sample_delays(500)
+    resumed_state = channel.state
+    assert resumed_state in (0, 1)
+    channel.reset()
+    assert channel.state == BURSTY.start_state
+
+
+def test_markov_batched_matches_serial_oracle():
+    seeds = [5, 99, 2**31 - 1]
+    batched = sample_markov_delays_batch(BURSTY, 600, seeds)
+    assert batched.shape == (3, 600)
+    for row, seed in enumerate(seeds):
+        serial = MarkovModulatedChannel(BURSTY, seed=seed).sample_delays(600)
+        assert np.array_equal(batched[row], serial)
+    with pytest.raises(ChannelError):
+        sample_markov_delays_batch(BURSTY, 600, [])
+
+
+# ------------------------------------------------------------------- handover
+def test_handover_config_validation():
+    with pytest.raises(ConfigurationError):
+        HandoverConfig(period=10, outage=10)  # outage must fit inside the period
+    with pytest.raises(ConfigurationError):
+        HandoverConfig(spike_delay_ms=0.0)
+
+
+def test_handover_profile_shape():
+    config = HandoverConfig(
+        period=50, outage=5, spike_delay_ms=20.0, spike_decay_commands=5.0, nominal_delay_ms=2.0
+    )
+    delays = HandoverChannel(config, seed=3).sample_delays(500)
+    lost = np.isinf(delays)
+    # One outage of `outage` commands per period.
+    assert lost.sum() == 500 // 50 * 5
+    # The first delivered command after an outage carries the spike, which
+    # then decays back towards the nominal delay.
+    post = np.where(~lost[1:] & lost[:-1])[0] + 1
+    finite = delays[np.isfinite(delays)]
+    assert delays[post[0]] == pytest.approx(22.0)
+    assert finite.min() >= 2.0
+
+
+def test_handover_offsets_vary_per_seed():
+    config = HandoverConfig(period=200, outage=10)
+    batched = sample_handover_delays_batch(config, 400, list(range(12)))
+    first_loss = np.argmax(np.isinf(batched), axis=1)
+    assert len(set(first_loss.tolist())) > 1  # phases differ across seeds
+
+
+def test_handover_batched_matches_serial_oracle():
+    config = HandoverConfig()
+    seeds = [0, 7, 123]
+    batched = sample_handover_delays_batch(config, 700, seeds)
+    for row, seed in enumerate(seeds):
+        serial = HandoverChannel(config, seed=seed).sample_delays(700)
+        assert np.array_equal(batched[row], serial)
