@@ -20,7 +20,7 @@ import time
 
 from repro.scenarios import SessionEngine, SweepExecutor, get_scenario
 
-from conftest import emit
+from conftest import emit, record_metric
 
 #: Repetitions per measured session (the Fig. 8 heatmap uses 40 at paper scale).
 REPETITIONS = 12
@@ -85,6 +85,10 @@ def test_bench_batched_kernel_throughput(benchmark, bench_scale, bench_seed):
         )
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+    record_metric(
+        "test_bench_batched_kernel_throughput",
+        **{f"speedup_{name}": value for name, value in speedups.items()},
+    )
     emit(
         f"Batched session kernel — {REPETITIONS} repetitions, bursty-loss, scale={bench_scale}",
         "\n".join(lines),

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.scenarios import get_scenario, sample_channel_delays, sample_channel_delays_batch
 
-from conftest import emit
+from conftest import emit, record_metric
 
 #: Channel realisations per measurement (the Fig. 8 heatmap uses 40 at paper scale).
 REPETITIONS = 40
@@ -76,6 +76,10 @@ def test_bench_channel_sampling_throughput(benchmark, bench_seed):
     gated = get_scenario("congested-ap").channel
     benchmark.pedantic(
         lambda: sample_channel_delays_batch(gated, N_COMMANDS, seeds), rounds=1, iterations=1
+    )
+    record_metric(
+        "test_bench_channel_sampling_throughput",
+        **{f"speedup_{name}": value for name, value in speedups.items()},
     )
     emit(
         f"Vectorized channel sampling — {REPETITIONS} repetitions x {N_COMMANDS} commands",

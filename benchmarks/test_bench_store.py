@@ -1,0 +1,80 @@
+"""Benchmark: warm (store-backed) sweep vs the same sweep computed cold.
+
+Runs one grid twice through the :class:`SweepExecutor` against a fresh
+:class:`ResultStore` — the first pass computes every session and persists it,
+the second pass must resolve every spec from disk without running a single
+simulation.  The warm pass has to be at least 10x faster than the cold one
+(in practice it is orders of magnitude faster: a handful of JSON shard reads
+versus forecaster training plus thousands of simulated commands), and its
+rows must agree with the cold rows on every summary field — the store's
+round-trip guarantee.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.scenarios import ResultStore, SweepExecutor, get_scenario, scenario_grid
+
+from conftest import emit, record_metric
+
+#: The warm (all-hits) sweep must beat the cold computation by this factor.
+MIN_SPEEDUP = 10.0
+
+#: Repetitions per grid cell (each is one channel realisation).
+REPETITIONS = 2
+
+
+def _grid(bench_scale, bench_seed):
+    base = get_scenario("bursty-loss", scale=bench_scale, seed=bench_seed).with_(
+        repetitions=REPETITIONS
+    )
+    return scenario_grid(base, {"channel.burst_length": (5, 10, 15), "seed": (bench_seed, bench_seed + 1)})
+
+
+def test_bench_warm_sweep_speedup(benchmark, bench_scale, bench_seed):
+    """Cold compute-and-persist vs warm all-hits replay of one sweep."""
+    specs = _grid(bench_scale, bench_seed)
+    with tempfile.TemporaryDirectory(prefix="foreco-bench-store-") as root:
+        start = time.perf_counter()
+        cold = SweepExecutor(store=ResultStore(root)).run(specs)
+        t_cold = time.perf_counter() - start
+        assert (cold.store_hits, cold.store_misses) == (0, len(specs))
+
+        start = time.perf_counter()
+        warm = SweepExecutor(store=ResultStore(root)).run(specs)
+        t_warm = time.perf_counter() - start
+        assert (warm.store_hits, warm.store_misses) == (len(specs), 0)
+
+        # The replay is indistinguishable from the computation, row by row.
+        assert warm.to_records() == cold.to_records()
+        for row_w, row_c in zip(warm, cold):
+            assert row_w.rmse_foreco_mm == row_c.rmse_foreco_mm
+            assert np.array_equal(row_w.delays_ms, row_c.delays_ms)
+
+        benchmark.pedantic(
+            lambda: SweepExecutor(store=ResultStore(root)).run(specs), rounds=1, iterations=1
+        )
+
+    speedup = t_cold / t_warm
+    record_metric(
+        "test_bench_warm_sweep_speedup",
+        speedup_warm_store=speedup,
+        cold_s=t_cold,
+        warm_s=t_warm,
+    )
+    emit(
+        f"Persistent result store — {len(specs)} specs x {REPETITIONS} repetitions, "
+        f"scale={bench_scale}",
+        f"{'pass':<8s} {'wall':>10s} {'specs/s':>10s}\n"
+        f"{'cold':<8s} {t_cold:>9.2f}s {len(specs) / t_cold:>10.1f}\n"
+        f"{'warm':<8s} {t_warm:>9.2f}s {len(specs) / t_warm:>10.1f}\n"
+        f"speedup x{speedup:.0f}",
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm store-backed sweep only {speedup:.1f}x faster than the cold "
+        f"computation (required: {MIN_SPEEDUP}x)"
+    )

@@ -18,10 +18,14 @@ import argparse
 import sys
 from pathlib import Path
 
+import inspect
+
 from repro.forecasting import forecaster_names, make_forecaster
 from repro.scenarios import (
     CHANNEL_KIND_SUMMARIES,
     CHANNEL_KINDS,
+    ENGINE_EPOCH,
+    ResultStore,
     get_scale,
     get_scenario,
     scale_names,
@@ -105,6 +109,39 @@ def _forecaster_table() -> list[str]:
     return lines
 
 
+def _store_table() -> list[str]:
+    defaults = {
+        name: parameter.default
+        for name, parameter in inspect.signature(ResultStore.__init__).parameters.items()
+        if parameter.default is not inspect.Parameter.empty
+    }
+    rows = [
+        ("root", "(required)", "store directory; epochs coexist under one root"),
+        (
+            "epoch",
+            str(defaults.get("epoch", ENGINE_EPOCH)),
+            "engine/code epoch (`ENGINE_EPOCH`); entries from other epochs are invisible",
+        ),
+        (
+            "max_entries",
+            "unbounded" if defaults.get("max_entries") is None else str(defaults["max_entries"]),
+            "LRU cap on stored results",
+        ),
+        (
+            "max_bytes",
+            "unbounded" if defaults.get("max_bytes") is None else str(defaults["max_bytes"]),
+            "LRU cap on total shard bytes",
+        ),
+    ]
+    lines = [
+        "| Knob | Default | Meaning |",
+        "| --- | --- | --- |",
+    ]
+    for knob, default, meaning in rows:
+        lines.append(f"| `{knob}` | {default} | {meaning} |")
+    return lines
+
+
 def render() -> str:
     """The full generated page as one string."""
     parts = [HEADER]
@@ -132,7 +169,14 @@ def render() -> str:
     parts.append(
         "\nAll registry names are accepted by `ScenarioSpec.foreco.algorithm` and"
     )
-    parts.append("`make_forecaster`; add custom algorithms with `register_forecaster`.")
+    parts.append("`make_forecaster`; add custom algorithms with `register_forecaster`.\n")
+    parts.append("## Result store\n")
+    parts.extend(_store_table())
+    parts.append(f"\nThe current engine epoch is **{ENGINE_EPOCH}**.  `ResultStore` persists")
+    parts.append("finished sessions on disk, content-addressed by `spec_hash()` + epoch,")
+    parts.append("so sweeps compute only the specs whose results are not already stored")
+    parts.append("(`SweepExecutor(store=...)`, `foreco-experiments --store PATH`); see")
+    parts.append("[Architecture](architecture.md) and [Performance](performance.md).")
     return "\n".join(parts) + "\n"
 
 

@@ -1,16 +1,26 @@
-"""Setup shim for environments without PEP 517 build isolation.
+"""Package metadata and console entry points.
 
-The canonical metadata lives in ``pyproject.toml``; this file only exists so
-``python setup.py develop`` works on offline hosts where pip cannot fetch the
-``wheel`` package required for isolated builds.
+Install with ``pip install -e .`` (CI does; ``--no-build-isolation`` on
+offline hosts where pip cannot fetch the ``wheel`` package).  Two console
+scripts point at the same runner: ``foreco-experiments`` (historical name)
+and ``repro-experiments`` (the name CI uses), so neither CI nor users need
+to hand-set ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
 setup(
+    name="foreco-repro",
+    version="1.0.0",
+    description="Reproduction of FoReCo: forecast-based recovery for wireless teleoperation",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy"],
     entry_points={
         "console_scripts": [
             "foreco-experiments = repro.experiments.runner:main",
+            "repro-experiments = repro.experiments.runner:main",
         ]
-    }
+    },
 )

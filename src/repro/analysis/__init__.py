@@ -14,7 +14,7 @@
 """
 
 from .heatmap import HeatmapCell, HeatmapGrid
-from .sweeps import heatmap_from_sweep, sweep_summary
+from .sweeps import heatmap_from_sweep, load_sweep, sweep_summary
 from .profiling import (
     HARDWARE_PROFILES,
     HardwareProfile,
@@ -27,6 +27,7 @@ __all__ = [
     "HeatmapCell",
     "HeatmapGrid",
     "heatmap_from_sweep",
+    "load_sweep",
     "sweep_summary",
     "HARDWARE_PROFILES",
     "HardwareProfile",

@@ -7,6 +7,10 @@ Installed as the ``foreco-experiments`` console script::
     foreco-experiments fig7 fig9 --seed 7 --output results.txt
     foreco-experiments --scenario jammer --scenario congested-ap --jobs 2
     foreco-experiments all --format json       # machine-readable report
+    foreco-experiments --scenario all --store ~/.cache/foreco-store
+    foreco-experiments --scenario all --store ~/.cache/foreco-store --resume
+
+(also installed as ``repro-experiments``, the name CI uses)
 
 Each experiment prints the text rendering of its result (the same tables the
 benchmark harness produces) or, with ``--format json``, a JSON document, so
@@ -16,6 +20,15 @@ out over worker threads through the scenario engine; results are identical
 to the serial run.  ``--scenario`` runs named presets from
 :mod:`repro.scenarios.registry` (repeat the flag for several; the special
 name ``all`` runs every preset).
+
+``--store PATH`` attaches a persistent :class:`repro.scenarios.ResultStore`
+to the scenario sweep: results already stored are loaded instead of
+recomputed, everything newly computed is written back, and the report states
+the hit/miss partition — so an interrupted or extended sweep only ever
+computes what is missing.  ``--resume`` additionally *requires* the store to
+exist and be non-empty, guarding against a mistyped path silently
+recomputing a whole grid from scratch.  (The figure/table experiments run
+their own pipelines and are not stored.)
 """
 
 from __future__ import annotations
@@ -26,7 +39,7 @@ import sys
 from typing import Callable
 
 from ..errors import ConfigurationError
-from ..scenarios import SweepExecutor, get_scenario, scenario_catalog, scenario_names
+from ..scenarios import ResultStore, SweepExecutor, get_scenario, scenario_catalog, scenario_names
 from . import (
     fig6_dataset,
     fig7_forecast_accuracy,
@@ -81,7 +94,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--format", dest="fmt", default="text", choices=["text", "json"],
                         help="report format (default: text)")
     parser.add_argument("--output", default=None, help="also write the report to this file")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="persistent result store for --scenario sweeps: stored "
+                        "results are reused, computed ones written back")
+    parser.add_argument("--resume", action="store_true",
+                        help="require --store to exist and be non-empty (refuses to "
+                        "silently recompute a whole sweep from a mistyped path)")
     return parser
+
+
+def _open_store(path: str | None, resume: bool) -> ResultStore | None:
+    """Materialise the ``--store``/``--resume`` flags (shared CLI semantics)."""
+    if path is None:
+        if resume:
+            raise SystemExit("--resume requires --store PATH (nothing to resume from)")
+        return None
+    store = ResultStore(path)
+    if resume and len(store) == 0:
+        raise SystemExit(
+            f"--resume: store at {path!r} has no entries for engine epoch "
+            f"{store.epoch}; drop --resume for a first run (or check the path)"
+        )
+    return store
 
 
 def run_experiments(
@@ -92,6 +126,8 @@ def run_experiments(
     fmt: str = "text",
     scenarios: list[str] | None = None,
     backend: str = "thread",
+    store: str | None = None,
+    resume: bool = False,
 ) -> str:
     """Run the selected experiments/scenarios and return the combined report."""
     if any(name == "all" for name in names):
@@ -104,6 +140,7 @@ def run_experiments(
         scenarios = scenario_names()
     if not names and not scenarios:
         raise SystemExit("nothing to run: pass experiment names and/or --scenario")
+    result_store = _open_store(store, resume)
 
     results = {name: EXPERIMENTS[name](scale=scale, seed=seed, jobs=jobs) for name in names}
     sweep = None
@@ -112,7 +149,7 @@ def run_experiments(
             specs = [get_scenario(name, scale=scale, seed=seed) for name in scenarios]
         except ConfigurationError as exc:
             raise SystemExit(str(exc)) from exc
-        sweep = SweepExecutor(jobs=jobs, backend=backend).run(specs)
+        sweep = SweepExecutor(jobs=jobs, backend=backend, store=result_store).run(specs)
 
     if fmt == "json":
         document: dict = {
@@ -122,6 +159,16 @@ def run_experiments(
         }
         if sweep is not None:
             document["scenarios"] = sweep.to_records()
+            if result_store is not None:
+                stats = result_store.stats()
+                document["store"] = {
+                    "path": str(result_store.root),
+                    "epoch": result_store.epoch,
+                    "hits": sweep.store_hits,
+                    "misses": sweep.store_misses,
+                    "entries": stats.entries,
+                    "total_bytes": stats.total_bytes,
+                }
         return json.dumps(document, indent=2) + "\n"
 
     sections = []
@@ -136,6 +183,13 @@ def run_experiments(
             if description:
                 sections.append(f"## {name} — {description}")
         sections.append(sweep.to_table())
+        if result_store is not None:
+            stats = result_store.stats()
+            sections.append(
+                f"store: {sweep.store_hits} hits / {sweep.store_misses} misses "
+                f"({100.0 * sweep.hit_fraction:.0f}% reused), "
+                f"{stats.entries} entries at {result_store.root} (epoch {result_store.epoch})"
+            )
         sections.append("")
     return "\n".join(sections).rstrip() + "\n"
 
@@ -152,6 +206,8 @@ def main(argv: list[str] | None = None) -> int:
         fmt=args.fmt,
         scenarios=args.scenario,
         backend=args.backend,
+        store=args.store,
+        resume=args.resume,
     )
     sys.stdout.write(report)
     if args.output:

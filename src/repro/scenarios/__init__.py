@@ -17,10 +17,14 @@ and the ``foreco-experiments`` CLI all describe work as
   :class:`repro.core.RemoteControlSimulation` runs with dataset /
   forecaster / result caching keyed by the spec hash;
 * :mod:`repro.scenarios.sweep` — fans lists/grids of specs out over worker
-  threads and returns a uniform :class:`SweepResult` table.
+  threads and returns a uniform :class:`SweepResult` table;
+* :mod:`repro.scenarios.store` — persistent, content-addressed
+  :class:`ResultStore` (spec hash + :data:`ENGINE_EPOCH`) making sweeps
+  resumable: executors compute only the specs missing from the store.
 """
 
 from .engine import (
+    ENGINE_EPOCH,
     SessionEngine,
     SessionResult,
     SharedDatasets,
@@ -58,19 +62,23 @@ from .spec import (
     trace_channel,
     wireless_channel,
 )
+from .store import ResultStore, StoreStats
 from .sweep import SweepExecutor, SweepResult, scenario_grid
 
 __all__ = [
     "CHANNEL_KIND_SUMMARIES",
     "CHANNEL_KINDS",
+    "ENGINE_EPOCH",
     "OPERATORS",
     "ChannelSpec",
     "ExperimentScale",
     "ForecoSpec",
+    "ResultStore",
     "ScenarioSpec",
     "SessionEngine",
     "SessionResult",
     "SharedDatasets",
+    "StoreStats",
     "SweepExecutor",
     "SweepResult",
     "build_datasets",

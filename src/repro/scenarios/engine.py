@@ -34,8 +34,12 @@ import json
 import threading
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports engine)
+    from .store import ResultStore
 
 from ..core.recovery import ForecoRecovery
 from ..core.simulation import (
@@ -70,6 +74,14 @@ from ..wireless import (
     sample_markov_delays_batch,
 )
 from .spec import ChannelSpec, ExperimentScale, ScenarioSpec, _jsonify, get_scale
+
+#: Engine/code epoch for persisted results.  Two runs may only share a
+#: :class:`~repro.scenarios.store.ResultStore` entry when both the spec hash
+#: AND this epoch match — bump it whenever a code change alters the results
+#: produced for an *unchanged* spec hash (PR 3's compound-seed fix is the
+#: canonical example: spec hashes survived, compound delay traces did not).
+#: Pure refactors, new channel kinds and performance work do NOT bump it.
+ENGINE_EPOCH = 4
 
 
 # ------------------------------------------------------------------- datasets
@@ -423,11 +435,24 @@ class SessionEngine:
         batched prediction.  The kernel is bit-identical to the serial
         repetition loop; ``batch=False`` is the escape hatch that forces the
         serial path (and is what the equality tests compare against).
+    store:
+        Optional persistent :class:`~repro.scenarios.store.ResultStore`.
+        Lookups go memory cache → disk store → compute; computed results are
+        written back immediately, so an interrupted sweep has persisted
+        everything it finished.  Store hits carry ``outcome=None`` (full
+        trajectories are not persisted — see the store module docs); the
+        summary row and delay trace round-trip bit-for-bit.
     """
 
-    def __init__(self, cache_results: bool = True, batch: bool = True) -> None:
+    def __init__(
+        self,
+        cache_results: bool = True,
+        batch: bool = True,
+        store: "ResultStore | None" = None,
+    ) -> None:
         self.cache_results = bool(cache_results)
         self.batch = bool(batch)
+        self.store = store
         self._results: dict[str, SessionResult] = {}
         self._forecasters: dict[tuple, object] = {}
         self._results_lock = threading.Lock()
@@ -519,6 +544,13 @@ class SessionEngine:
                 cached = self._results.get(key)
             if cached is not None:
                 return cached
+        if self.store is not None:
+            stored = self.store.get(spec)
+            if stored is not None:
+                if self.cache_results:
+                    with self._results_lock:
+                        stored = self._results.setdefault(key, stored)
+                return stored
 
         commands = self.test_commands(spec)
         master = self.trained_forecaster(spec)  # ensure the master is fitted once
@@ -546,6 +578,8 @@ class SessionEngine:
         if self.cache_results:
             with self._results_lock:
                 self._results.setdefault(key, result)
+        if self.store is not None:
+            self.store.put(spec, result)
         return result
 
     def _sample_delays(self, spec: ScenarioSpec, n_commands: int, repetition: int) -> np.ndarray:

@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Sequence
 from ..errors import ConfigurationError
 from .engine import SessionEngine, SessionResult
 from .spec import ScenarioSpec
+from .store import ResultStore
 
 
 # ----------------------------------------------------------------------- grid
@@ -69,9 +70,24 @@ def _apply_axis(spec: ScenarioSpec, key: str, value) -> ScenarioSpec:
 # -------------------------------------------------------------------- results
 @dataclass
 class SweepResult:
-    """Ordered table of per-scenario session results."""
+    """Ordered table of per-scenario session results.
+
+    When the sweep ran against a persistent
+    :class:`~repro.scenarios.store.ResultStore`, ``store_hits`` /
+    ``store_misses`` record how the specs partitioned: hits were loaded from
+    disk, misses were computed (and written back).  Both stay 0 for
+    store-less sweeps and for derived tables (:meth:`filter`).
+    """
 
     rows: list[SessionResult] = field(default_factory=list)
+    store_hits: int = 0
+    store_misses: int = 0
+
+    @property
+    def hit_fraction(self) -> float:
+        """Store hits over specs (0.0 when the sweep had no store)."""
+        lookups = self.store_hits + self.store_misses
+        return self.store_hits / lookups if lookups else 0.0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -140,10 +156,19 @@ class SweepResult:
 _WORKER_ENGINE: SessionEngine | None = None
 
 
-def _run_spec_in_worker(spec: ScenarioSpec) -> SessionResult:
+def _run_spec_in_worker(task: tuple[ScenarioSpec, tuple | None]) -> SessionResult:
+    """Run one spec in a pool worker; ``task`` is ``(spec, store_config)``.
+
+    ``store_config`` is ``(root, epoch, max_entries, max_bytes)`` or ``None``;
+    each worker process opens its own :class:`ResultStore` handle on it, so
+    results are persisted the moment a worker finishes them (per-key atomic
+    renames make the concurrent writers safe).
+    """
     global _WORKER_ENGINE
+    spec, store_config = task
     if _WORKER_ENGINE is None:
-        _WORKER_ENGINE = SessionEngine()
+        store = ResultStore(*store_config) if store_config is not None else None
+        _WORKER_ENGINE = SessionEngine(store=store)
     return _WORKER_ENGINE.run(spec)
 
 
@@ -175,6 +200,17 @@ class SweepExecutor:
         under ``spawn`` (macOS/Windows default), where specs referencing
         them fail with a ``ConfigurationError``; use ``backend="thread"``
         for such specs on those platforms.
+    store:
+        Optional persistent :class:`~repro.scenarios.store.ResultStore`.
+        :meth:`run` first partitions the specs into store hits and misses
+        and fans out **only the misses** — the synchronisation-protocol
+        move: compute only what differs from what is already stored.  Every
+        computed result is written back as soon as it finishes (worker
+        processes open their own handle on the same directory), so an
+        interrupted sweep resumes where it crashed and a grown grid reuses
+        its overlap with previous grids.  When both ``engine`` and ``store``
+        are given, the store is attached to the engine (which must not
+        already carry a different one).
     """
 
     #: Accepted ``backend`` values.
@@ -185,32 +221,76 @@ class SweepExecutor:
         jobs: int = 1,
         engine: SessionEngine | None = None,
         backend: str = "thread",
+        store: ResultStore | None = None,
     ) -> None:
         if backend not in self.BACKENDS:
             raise ConfigurationError(
                 f"unknown sweep backend {backend!r}; available: {sorted(self.BACKENDS)}"
             )
         self.jobs = max(1, int(jobs))
-        self.engine = engine if engine is not None else SessionEngine()
+        if engine is None:
+            engine = SessionEngine(store=store)
+        elif store is not None:
+            if engine.store is not None and engine.store is not store:
+                raise ConfigurationError("engine already carries a different result store")
+            engine.store = store
+        self.engine = engine
         self.backend = backend
+        self.store = store if store is not None else engine.store
+
+    def _store_config(self) -> tuple | None:
+        """Picklable store parameters for worker processes."""
+        if self.store is None:
+            return None
+        return (str(self.store.root), self.store.epoch, self.store.max_entries, self.store.max_bytes)
 
     def run(self, specs: Iterable[ScenarioSpec]) -> SweepResult:
-        """Execute every spec and return results in input order."""
+        """Execute every spec and return results in input order.
+
+        With a store attached, specs whose results are already persisted are
+        loaded instead of computed; only the misses fan out to workers.  The
+        rows are indistinguishable from a cold serial run (modulo the
+        in-memory-only ``outcome`` field on hits).
+        """
         specs = list(specs)
         if not specs:
             return SweepResult([])
-        if self.jobs == 1 or len(specs) == 1:
-            rows = [self.engine.run(spec) for spec in specs]
-        elif self.backend == "process":
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                rows = list(pool.map(_run_spec_in_worker, specs))
+        rows: list[SessionResult | None] = [None] * len(specs)
+        pending: list[tuple[int, ScenarioSpec]] = []
+        hits = 0
+        if self.store is not None:
+            for index, spec in enumerate(specs):
+                # Partition with a cheap existence check; the stats-counted
+                # get() runs only for actual hits, so the per-spec miss is
+                # counted exactly once (by the engine, when it computes).
+                cached = self.store.get(spec) if self.store.contains(spec) else None
+                if cached is not None:
+                    rows[index] = cached
+                    hits += 1
+                else:
+                    pending.append((index, spec))
         else:
-            # The engine trains distinct forecaster identities in parallel and
-            # serialises same-identity requests on a per-key lock, so workers
-            # can start immediately.
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                rows = list(pool.map(self.engine.run, specs))
-        return SweepResult(rows)
+            pending = list(enumerate(specs))
+        misses = len(pending) if self.store is not None else 0
+
+        if pending:
+            pending_specs = [spec for _, spec in pending]
+            if self.jobs == 1 or len(pending_specs) == 1:
+                computed = [self.engine.run(spec) for spec in pending_specs]
+            elif self.backend == "process":
+                store_config = self._store_config()
+                tasks = [(spec, store_config) for spec in pending_specs]
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    computed = list(pool.map(_run_spec_in_worker, tasks))
+            else:
+                # The engine trains distinct forecaster identities in parallel and
+                # serialises same-identity requests on a per-key lock, so workers
+                # can start immediately.
+                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                    computed = list(pool.map(self.engine.run, pending_specs))
+            for (index, _), row in zip(pending, computed):
+                rows[index] = row
+        return SweepResult(rows, store_hits=hits, store_misses=misses)
 
     def run_grid(self, base: ScenarioSpec, axes: dict[str, Sequence]) -> SweepResult:
         """Expand a grid (see :func:`scenario_grid`) and execute it."""

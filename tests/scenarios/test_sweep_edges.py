@@ -1,0 +1,82 @@
+"""Edge-case coverage for :class:`SweepResult` on empty and single-element
+sweeps: the selectors must fail with the library's ConfigurationError (never
+a bare ``ValueError`` from ``max``/``min``), and the renderers must stay
+well-formed at the degenerate sizes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import ScenarioSpec, SessionResult, SweepResult, clean_channel
+
+
+def _row(seed: int = 1, rmse: float = 2.0) -> SessionResult:
+    spec = ScenarioSpec(name="edge", channel=clean_channel(), seed=seed)
+    return SessionResult(
+        spec=spec,
+        spec_hash=spec.spec_hash(),
+        n_commands=10,
+        rmse_no_forecast_mm=(rmse,),
+        rmse_foreco_mm=(rmse / 2.0,),
+        late_fraction=(0.1,),
+        recovery_fraction=(0.9,),
+    )
+
+
+# ------------------------------------------------------------------- empty
+def test_empty_sweep_selectors_raise_configuration_error():
+    sweep = SweepResult([])
+    with pytest.raises(ConfigurationError):
+        sweep.worst()
+    with pytest.raises(ConfigurationError):
+        sweep.best()
+    # The library contract: anticipated failures raise ReproError subclasses,
+    # never the bare ValueError that max()/min() on an empty list would give.
+    with pytest.raises(Exception) as excinfo:
+        sweep.worst(metric="mean_late_fraction")
+    assert isinstance(excinfo.value, ConfigurationError)
+    assert not isinstance(excinfo.value, ValueError)
+
+
+def test_empty_sweep_renders_and_filters():
+    sweep = SweepResult([])
+    assert len(sweep) == 0 and list(sweep) == []
+    assert sweep.to_records() == []
+    assert json.loads(sweep.to_json()) == []
+    assert sweep.metric("improvement_factor") == []
+    filtered = sweep.filter(lambda row: True)
+    assert isinstance(filtered, SweepResult) and len(filtered) == 0
+    table = sweep.to_table()
+    lines = table.splitlines()
+    assert len(lines) == 2  # header + rule, no data rows
+    assert "scenario" in lines[0]
+    assert sweep.to_text() == table
+    assert sweep.hit_fraction == 0.0  # no store involved
+
+
+# ------------------------------------------------------------------ single
+def test_single_element_sweep_selectors_agree():
+    row = _row()
+    sweep = SweepResult([row])
+    assert sweep.worst() is row
+    assert sweep.best() is row
+    assert sweep.worst(metric="mean_late_fraction") is row
+    assert sweep[0] is row and len(sweep) == 1
+
+
+def test_single_element_sweep_filter_and_table():
+    row = _row()
+    sweep = SweepResult([row])
+    assert len(sweep.filter(lambda r: r.spec.seed == 1)) == 1
+    kept_none = sweep.filter(lambda r: False)
+    assert len(kept_none) == 0
+    with pytest.raises(ConfigurationError):
+        kept_none.worst()  # filtering down to empty keeps the contract
+    table = sweep.to_table()
+    assert len(table.splitlines()) == 3  # header + rule + one data row
+    assert "edge" in table
+    records = sweep.to_records()
+    assert len(records) == 1 and records[0]["scenario"] == "edge"
