@@ -20,6 +20,7 @@ from pathlib import Path
 
 import inspect
 
+from repro.fleet import ARRIVAL_KIND_SUMMARIES, ARRIVAL_KINDS, fleet_catalog, get_fleet
 from repro.forecasting import forecaster_names, make_forecaster
 from repro.scenarios import (
     CHANNEL_KIND_SUMMARIES,
@@ -71,6 +72,33 @@ def _channel_kind_table() -> list[str]:
     for kind in CHANNEL_KINDS:
         summary = CHANNEL_KIND_SUMMARIES.get(kind, "")
         lines.append(f"| `{kind}` | {summary} |")
+    return lines
+
+
+def _fleet_table() -> list[str]:
+    lines = [
+        "| Fleet | Operators | APs | Capacity | Service (ms) | Arrival | Template | Description |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for name, description in fleet_catalog().items():
+        fleet = get_fleet(name)
+        arrival = fleet.arrival
+        if arrival != "simultaneous":
+            arrival = f"{arrival} @ {fleet.arrival_rate_hz:g}/s"
+        lines.append(
+            f"| `{name}` | {fleet.operators} | {fleet.aps} | {fleet.ap_capacity} | "
+            f"{fleet.ap_service_ms:g} | {arrival} | `{fleet.template.name}` | {description} |"
+        )
+    return lines
+
+
+def _arrival_kind_table() -> list[str]:
+    lines = [
+        "| Arrival | Process |",
+        "| --- | --- |",
+    ]
+    for kind in ARRIVAL_KINDS:
+        lines.append(f"| `{kind}` | {ARRIVAL_KIND_SUMMARIES.get(kind, '')} |")
     return lines
 
 
@@ -159,6 +187,18 @@ def render() -> str:
     parts.append("per seed — the serial sampler is the oracle — and the batched path")
     parts.append("is what `SessionEngine` uses for multi-repetition specs (see")
     parts.append("[Performance](performance.md)).\n")
+    parts.append("## Fleet presets\n")
+    parts.extend(_fleet_table())
+    parts.append("\nA fleet runs `operators` concurrent sessions of its template scenario,")
+    parts.append("statically assigned to AP `i % aps`, with per-AP admission control")
+    parts.append("(`capacity` concurrent sessions) and a shared backlog that couples the")
+    parts.append("co-scheduled sessions' delays (`service` ms of AP air time per")
+    parts.append("delivered command).  Fetch one with `repro.fleet.get_fleet(name)`, run")
+    parts.append("it with `FleetEngine` or any `SweepExecutor`, or from the CLI:")
+    parts.append("`foreco-experiments fleet [--fleet N]`.  See the")
+    parts.append("[fleet operations guide](fleet.md).\n")
+    parts.extend(_arrival_kind_table())
+    parts.append("")
     parts.append("## Sizing scales\n")
     parts.extend(_scale_table())
     parts.append("\n`full` approaches the paper's sweep sizes; `ci` keeps every")

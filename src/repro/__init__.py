@@ -37,6 +37,10 @@ Package layout
     The unified scenario runtime: declarative, hashable scenario specs,
     named presets, a caching session engine and a parallel sweep executor —
     the layer every experiment, example and benchmark goes through.
+``repro.fleet``
+    Fleet-scale service simulation on top of the scenario layer: N
+    concurrent operators with arrival processes, AP admission control and
+    shared-backlog contention coupling (see ``docs/fleet.md``).
 ``repro.experiments``
     One module per paper figure/table plus a CLI runner
     (``foreco-experiments``).
@@ -77,6 +81,7 @@ from .forecasting import (
     VarForecaster,
     make_forecaster,
 )
+from .fleet import FleetEngine, FleetSpec, get_fleet
 from .robot import NiryoOneArm, RobotDriver
 from .scenarios import (
     ScenarioSpec,
@@ -122,10 +127,13 @@ __all__ = [
     "GilbertElliottJammer",
     "InterferenceSource",
     "WirelessChannel",
+    "FleetEngine",
+    "FleetSpec",
     "ScenarioSpec",
     "SessionEngine",
     "SweepExecutor",
     "SweepResult",
+    "get_fleet",
     "get_scenario",
     "scenario_names",
     "quick_demo",

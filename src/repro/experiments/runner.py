@@ -9,6 +9,8 @@ Installed as the ``foreco-experiments`` console script::
     foreco-experiments all --format json       # machine-readable report
     foreco-experiments --scenario all --store ~/.cache/foreco-store
     foreco-experiments --scenario all --store ~/.cache/foreco-store --resume
+    foreco-experiments fleet                   # every fleet preset
+    foreco-experiments fleet --fleet 8 --jobs 4  # ... with 8 operators each
 
 (also installed as ``repro-experiments``, the name CI uses)
 
@@ -29,6 +31,13 @@ computes what is missing.  ``--resume`` additionally *requires* the store to
 exist and be non-empty, guarding against a mistyped path silently
 recomputing a whole grid from scratch.  (The figure/table experiments run
 their own pipelines and are not stored.)
+
+The ``fleet`` keyword runs every fleet preset from
+:mod:`repro.fleet.registry` — multi-operator service workloads with shared
+access points, admission control and arrival processes (see
+``docs/fleet.md``).  ``--fleet N`` overrides the operator population of
+every fleet preset (and implies the ``fleet`` run); fleets honour
+``--jobs``, ``--store`` and ``--resume`` exactly like scenario sweeps.
 """
 
 from __future__ import annotations
@@ -72,7 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         default=[],
-        help="experiments to run: " + ", ".join(sorted(EXPERIMENTS)) + ", or 'all'",
+        help="experiments to run: " + ", ".join(sorted(EXPERIMENTS)) + ", 'all', "
+        "or 'fleet' (every fleet preset)",
     )
     parser.add_argument("--scale", default="ci", choices=["ci", "standard", "full"],
                         help="experiment scale (default: ci)")
@@ -91,6 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
         + ", ".join(scenario_names())
         + "); repeat for several, or 'all' for every preset",
     )
+    parser.add_argument("--fleet", type=int, default=None, metavar="N",
+                        help="operator-population override for the fleet presets; "
+                        "implies the 'fleet' run (see docs/fleet.md)")
     parser.add_argument("--format", dest="fmt", default="text", choices=["text", "json"],
                         help="report format (default: text)")
     parser.add_argument("--output", default=None, help="also write the report to this file")
@@ -128,8 +141,12 @@ def run_experiments(
     backend: str = "thread",
     store: str | None = None,
     resume: bool = False,
+    fleet: int | None = None,
 ) -> str:
-    """Run the selected experiments/scenarios and return the combined report."""
+    """Run the selected experiments/scenarios/fleets and return the report."""
+    names = list(names)
+    fleet_requested = fleet is not None or "fleet" in names
+    names = [name for name in names if name != "fleet"]
     if any(name == "all" for name in names):
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -138,18 +155,35 @@ def run_experiments(
     scenarios = list(scenarios or [])
     if any(name == "all" for name in scenarios):
         scenarios = scenario_names()
-    if not names and not scenarios:
-        raise SystemExit("nothing to run: pass experiment names and/or --scenario")
+    if not names and not scenarios and not fleet_requested:
+        raise SystemExit("nothing to run: pass experiment names, 'fleet' and/or --scenario")
     result_store = _open_store(store, resume)
 
     results = {name: EXPERIMENTS[name](scale=scale, seed=seed, jobs=jobs) for name in names}
+    # One executor serves both sweeps, so fleet presets whose templates the
+    # scenario sweep already ran reuse its dataset/forecaster caches.
+    executor = SweepExecutor(jobs=jobs, backend=backend, store=result_store)
     sweep = None
     if scenarios:
         try:
             specs = [get_scenario(name, scale=scale, seed=seed) for name in scenarios]
         except ConfigurationError as exc:
             raise SystemExit(str(exc)) from exc
-        sweep = SweepExecutor(jobs=jobs, backend=backend, store=result_store).run(specs)
+        sweep = executor.run(specs)
+    fleet_sweep = None
+    fleet_presets: list[str] = []
+    if fleet_requested:
+        from ..fleet import fleet_names, get_fleet  # deferred: keeps import light
+
+        fleet_presets = fleet_names()
+        try:
+            fleet_specs = [
+                get_fleet(name, operators=fleet, scale=scale, seed=seed)
+                for name in fleet_presets
+            ]
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
+        fleet_sweep = executor.run(fleet_specs)
 
     if fmt == "json":
         document: dict = {
@@ -159,16 +193,20 @@ def run_experiments(
         }
         if sweep is not None:
             document["scenarios"] = sweep.to_records()
-            if result_store is not None:
-                stats = result_store.stats()
-                document["store"] = {
-                    "path": str(result_store.root),
-                    "epoch": result_store.epoch,
-                    "hits": sweep.store_hits,
-                    "misses": sweep.store_misses,
-                    "entries": stats.entries,
-                    "total_bytes": stats.total_bytes,
-                }
+        if fleet_sweep is not None:
+            document["fleets"] = fleet_sweep.to_records()
+        if result_store is not None and (sweep is not None or fleet_sweep is not None):
+            stats = result_store.stats()
+            hits = sum(s.store_hits for s in (sweep, fleet_sweep) if s is not None)
+            misses = sum(s.store_misses for s in (sweep, fleet_sweep) if s is not None)
+            document["store"] = {
+                "path": str(result_store.root),
+                "epoch": result_store.epoch,
+                "hits": hits,
+                "misses": misses,
+                "entries": stats.entries,
+                "total_bytes": stats.total_bytes,
+            }
         return json.dumps(document, indent=2) + "\n"
 
     sections = []
@@ -191,6 +229,24 @@ def run_experiments(
                 f"{stats.entries} entries at {result_store.root} (epoch {result_store.epoch})"
             )
         sections.append("")
+    if fleet_sweep is not None:
+        from ..fleet import fleet_catalog
+
+        catalog = fleet_catalog()
+        sections.append("# fleet presets")
+        for name, row in zip(fleet_presets, fleet_sweep):
+            description = catalog.get(row.spec.name, "")
+            if description:
+                sections.append(f"## {name} — {description}")
+            sections.append(row.to_text())
+        if result_store is not None:
+            stats = result_store.stats()
+            sections.append(
+                f"store: {fleet_sweep.store_hits} hits / {fleet_sweep.store_misses} misses "
+                f"({100.0 * fleet_sweep.hit_fraction:.0f}% reused), "
+                f"{stats.entries} entries at {result_store.root} (epoch {result_store.epoch})"
+            )
+        sections.append("")
     return "\n".join(sections).rstrip() + "\n"
 
 
@@ -208,6 +264,7 @@ def main(argv: list[str] | None = None) -> int:
         backend=args.backend,
         store=args.store,
         resume=args.resume,
+        fleet=args.fleet,
     )
     sys.stdout.write(report)
     if args.output:

@@ -1,0 +1,102 @@
+"""Fleet-scale multi-operator service simulator.
+
+This package scales the scenario runtime from one teleoperation session to
+an operated service: ``N`` concurrent operators, arriving over time,
+contending for shared access points — the workload shape a deployment
+serving heavy traffic actually sees.
+
+* :mod:`repro.fleet.spec` — frozen, hashable :class:`FleetSpec` (operator
+  population, arrival process, AP topology/capacity, per-operator
+  :class:`~repro.scenarios.ScenarioSpec` template) and the arrival-process
+  samplers built on :mod:`repro.des.distributions`;
+* :mod:`repro.fleet.engine` — the :class:`FleetEngine`: admission control,
+  the shared per-AP Lindley backlog that couples co-scheduled sessions, and
+  one batched session-kernel pass over every admitted operator-session;
+  :class:`FleetResult` carries the service-level metrics (p50/p99 recovery,
+  completion-time distribution, AP utilisation, dropped sessions);
+* :mod:`repro.fleet.registry` — named fleet presets (``shared-ap``,
+  ``peak-hour``, ``diurnal-campus``).
+
+Fleet results persist in the same content-addressed
+:class:`~repro.scenarios.ResultStore` (and engine-epoch scheme) as session
+results — importing this package registers the ``"fleet"`` record codec —
+and :class:`~repro.scenarios.SweepExecutor` accepts fleet specs alongside
+scenario specs, so capacity sweeps are resumable like any other sweep.
+"""
+
+from __future__ import annotations
+
+from ..scenarios.store import (
+    _metric_tuples,
+    decode_delays,
+    encode_delays,
+    register_store_codec,
+)
+from .engine import FleetEngine, FleetResult, operator_channel_spec
+from .registry import fleet_catalog, fleet_names, get_fleet, register_fleet
+from .spec import (
+    ARRIVAL_KIND_SUMMARIES,
+    ARRIVAL_KINDS,
+    FleetSpec,
+    arrival_seed,
+    sample_arrival_times,
+)
+
+_FLEET_METRICS = (
+    "rmse_no_forecast_mm",
+    "rmse_foreco_mm",
+    "late_fraction",
+    "recovery_fraction",
+    "completion_time_s",
+)
+
+
+def _encode_fleet(result: FleetResult) -> dict:
+    """Kind-specific payload fields for a fleet record."""
+    payload = {
+        "n_commands": int(result.n_commands),
+        "admitted": int(result.admitted),
+        "dropped_sessions": int(result.dropped_sessions),
+        "ap_utilization": [float(u) for u in result.ap_utilization],
+        "delays_ms": encode_delays(result.delays_ms),
+    }
+    for metric in _FLEET_METRICS:
+        payload[metric] = [float(v) for v in getattr(result, metric)]
+    return payload
+
+
+def _decode_fleet(spec: FleetSpec, key: str, payload: dict) -> FleetResult:
+    """Rebuild a :class:`FleetResult` from a fleet record's payload."""
+    metrics = _metric_tuples(payload, _FLEET_METRICS)
+    utilization = payload["ap_utilization"]
+    if not isinstance(utilization, list) or len(utilization) != spec.aps:
+        raise ValueError("ap_utilization does not match the spec's AP count")
+    return FleetResult(
+        spec=spec,
+        spec_hash=key,
+        n_commands=int(payload["n_commands"]),
+        admitted=int(payload["admitted"]),
+        dropped_sessions=int(payload["dropped_sessions"]),
+        ap_utilization=tuple(float(u) for u in utilization),
+        outcome=None,  # trajectories are in-memory only (store module docs)
+        delays_ms=decode_delays(payload.get("delays_ms")),
+        **metrics,
+    )
+
+
+register_store_codec("fleet", _encode_fleet, _decode_fleet)
+
+__all__ = [
+    "ARRIVAL_KIND_SUMMARIES",
+    "ARRIVAL_KINDS",
+    "FleetEngine",
+    "FleetResult",
+    "FleetSpec",
+    "arrival_seed",
+    "fleet_catalog",
+    "fleet_names",
+    "get_fleet",
+    "operator_channel_spec",
+    "register_fleet",
+    "sample_arrival_times",
+]

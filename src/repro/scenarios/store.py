@@ -45,6 +45,19 @@ results loaded from the store carry ``outcome=None``.  Everything the sweep
 tables, heatmaps and JSON reports read — :meth:`SessionResult.to_dict` and
 the metric tuples — round-trips bit-for-bit (floats are serialised with
 ``repr``-exact shortest form).
+
+Record kinds
+------------
+
+The store holds more than one result type under one epoch scheme.  Every
+shard carries a ``kind`` tag (absent = ``"session"``, the original record
+layout) and each kind registers a codec through :func:`register_store_codec`
+— the fleet layer (:mod:`repro.fleet`) registers ``"fleet"`` records for
+:class:`~repro.fleet.engine.FleetResult` rows this way.  The expected kind
+is derived from the *spec* passed to :meth:`ResultStore.get` (its
+``store_kind`` attribute, default ``"session"``), so a session spec can
+never deserialise a fleet shard or vice versa; spec hashing domains are
+disjoint anyway.
 """
 
 from __future__ import annotations
@@ -66,6 +79,77 @@ from .spec import ScenarioSpec
 
 #: Schema version of the shard records themselves (bump on layout changes).
 _RECORD_FORMAT = 1
+
+
+# -------------------------------------------------------------------- codecs
+def encode_delays(delays) -> list | None:
+    """RFC 8259-safe rendering of a delay trace (``inf`` = lost -> ``null``)."""
+    if delays is None:
+        return None
+    return [float(v) if math.isfinite(v) else None for v in np.asarray(delays).ravel()]
+
+
+def decode_delays(values) -> np.ndarray | None:
+    """Inverse of :func:`encode_delays` (``null`` -> ``inf``)."""
+    if values is None:
+        return None
+    return np.array([math.inf if v is None else float(v) for v in values])
+
+
+def _metric_tuples(payload: dict, fields: tuple[str, ...]) -> dict:
+    """Decode per-repetition metric lists, validating shape consistency."""
+    metrics = {}
+    for field in fields:
+        values = payload[field]
+        if not isinstance(values, list) or not values:
+            raise ValueError(f"field {field!r} is not a non-empty list")
+        metrics[field] = tuple(float(v) for v in values)
+    if len({len(v) for v in metrics.values()}) != 1:
+        raise ValueError("per-repetition metric tuples have inconsistent lengths")
+    return metrics
+
+
+_SESSION_METRICS = ("rmse_no_forecast_mm", "rmse_foreco_mm", "late_fraction", "recovery_fraction")
+
+
+def _encode_session(result: SessionResult) -> dict:
+    """Kind-specific payload fields for a session record."""
+    return {
+        "n_commands": int(result.n_commands),
+        "rmse_no_forecast_mm": [float(v) for v in result.rmse_no_forecast_mm],
+        "rmse_foreco_mm": [float(v) for v in result.rmse_foreco_mm],
+        "late_fraction": [float(v) for v in result.late_fraction],
+        "recovery_fraction": [float(v) for v in result.recovery_fraction],
+        "delays_ms": encode_delays(result.delays_ms),
+    }
+
+
+def _decode_session(spec: ScenarioSpec, key: str, payload: dict) -> SessionResult:
+    """Rebuild a :class:`SessionResult` from a session record's payload."""
+    return SessionResult(
+        spec=spec,
+        spec_hash=key,
+        n_commands=int(payload["n_commands"]),
+        outcome=None,  # trajectories are in-memory only (see module docs)
+        delays_ms=decode_delays(payload.get("delays_ms")),
+        **_metric_tuples(payload, _SESSION_METRICS),
+    )
+
+
+#: kind -> (encode(result) -> payload dict, decode(spec, key, payload) -> result).
+_CODECS: dict[str, tuple] = {"session": (_encode_session, _decode_session)}
+
+
+def register_store_codec(kind: str, encode, decode) -> None:
+    """Register the shard codec for a result kind.
+
+    ``encode(result)`` returns the kind-specific payload fields (the store
+    adds the common envelope: format, epoch, spec hash, kind, name and
+    canonical spec); ``decode(spec, key, payload)`` rebuilds the result
+    object.  Specs and results advertise their kind through a ``store_kind``
+    attribute (default ``"session"``).
+    """
+    _CODECS[str(kind)] = (encode, decode)
 
 
 # -------------------------------------------------------------------- stats
@@ -174,59 +258,50 @@ class ResultStore:
             pass
 
     # -------------------------------------------------------------- codec
-    def _encode(self, key: str, result: SessionResult) -> dict:
-        delays = result.delays_ms
-        if delays is not None:
-            delays = [float(v) if math.isfinite(v) else None for v in np.asarray(delays).ravel()]
-        return {
+    def _encode(self, key: str, result) -> dict:
+        """Full shard record for a result: common envelope + codec payload."""
+        kind = getattr(result, "store_kind", "session")
+        try:
+            encode, _ = _CODECS[kind]
+        except KeyError as exc:
+            raise ConfigurationError(f"no store codec registered for kind {kind!r}") from exc
+        record = {
             "format": _RECORD_FORMAT,
             "epoch": self.epoch,
             "spec_hash": key,
+            "kind": kind,
             "name": result.spec.name,
             "spec": result.spec.canonical(),
-            "n_commands": int(result.n_commands),
-            "rmse_no_forecast_mm": [float(v) for v in result.rmse_no_forecast_mm],
-            "rmse_foreco_mm": [float(v) for v in result.rmse_foreco_mm],
-            "late_fraction": [float(v) for v in result.late_fraction],
-            "recovery_fraction": [float(v) for v in result.recovery_fraction],
-            "delays_ms": delays,
         }
+        record.update(encode(result))
+        return record
 
-    def _decode(self, spec: ScenarioSpec, key: str, payload: dict) -> SessionResult:
+    def _decode(self, spec, key: str, payload: dict):
+        """Rebuild a result from a shard record, validating the envelope."""
         if payload.get("format") != _RECORD_FORMAT:
             raise ValueError(f"unknown record format {payload.get('format')!r}")
         if payload.get("epoch") != self.epoch:
             raise ValueError(f"epoch mismatch: {payload.get('epoch')!r} != {self.epoch}")
         if payload.get("spec_hash") != key:
             raise ValueError(f"content address mismatch: {payload.get('spec_hash')!r} != {key}")
-        metrics = {}
-        for field in ("rmse_no_forecast_mm", "rmse_foreco_mm", "late_fraction", "recovery_fraction"):
-            values = payload[field]
-            if not isinstance(values, list) or not values:
-                raise ValueError(f"field {field!r} is not a non-empty list")
-            metrics[field] = tuple(float(v) for v in values)
-        if len({len(v) for v in metrics.values()}) != 1:
-            raise ValueError("per-repetition metric tuples have inconsistent lengths")
-        delays = payload.get("delays_ms")
-        if delays is not None:
-            delays = np.array([math.inf if v is None else float(v) for v in delays])
-        return SessionResult(
-            spec=spec,
-            spec_hash=key,
-            n_commands=int(payload["n_commands"]),
-            outcome=None,  # trajectories are in-memory only (see module docs)
-            delays_ms=delays,
-            **metrics,
-        )
+        expected = getattr(spec, "store_kind", "session")
+        kind = payload.get("kind", "session")
+        if kind != expected:
+            raise ValueError(f"record kind {kind!r} does not match the spec's {expected!r}")
+        _, decode = _CODECS[expected]
+        return decode(spec, key, payload)
 
     # ---------------------------------------------------------------- api
-    def get(self, spec: ScenarioSpec) -> SessionResult | None:
+    def get(self, spec):
         """The stored result for ``spec``, or ``None`` on a miss.
 
-        The returned row is attached to the *caller's* spec object (the
-        shard's canonical spec is audit metadata, not the source of truth
-        — the content address already guarantees they describe the same
-        physics).  Corrupted shards count as misses and are deleted.
+        ``spec`` is any hashable spec with a ``spec_hash()`` method and a
+        registered record kind (:class:`ScenarioSpec` or
+        :class:`~repro.fleet.FleetSpec`).  The returned row is attached to
+        the *caller's* spec object (the shard's canonical spec is audit
+        metadata, not the source of truth — the content address already
+        guarantees they describe the same physics).  Corrupted shards count
+        as misses and are deleted.
         """
         key = spec.spec_hash()
         path = self.shard_path(key)
@@ -249,12 +324,13 @@ class ResultStore:
             self._hits += 1
         return result
 
-    def put(self, spec: ScenarioSpec, result: SessionResult) -> Path:
+    def put(self, spec, result) -> Path:
         """Persist a result under its spec's content address (atomic).
 
-        Re-putting an existing key overwrites it with identical bytes (equal
-        specs produce equal results), so racing writers are harmless.
-        Returns the shard path.
+        ``spec``/``result`` may be any kind with a registered codec (session
+        or fleet).  Re-putting an existing key overwrites it with identical
+        bytes (equal specs produce equal results), so racing writers are
+        harmless.  Returns the shard path.
         """
         key = spec.spec_hash()
         if result.spec_hash != key:
@@ -284,13 +360,13 @@ class ResultStore:
             self._account_put(path, old_size, len(data.encode("utf-8")))
         return path
 
-    def contains(self, spec: ScenarioSpec) -> bool:
+    def contains(self, spec) -> bool:
         """Whether a shard exists for this spec (no validation, no touch)."""
         return self.shard_path(spec.spec_hash()).is_file()
 
     __contains__ = contains
 
-    def evict(self, spec: ScenarioSpec) -> bool:
+    def evict(self, spec) -> bool:
         """Remove one entry; returns whether anything was removed."""
         path = self.shard_path(spec.spec_hash())
         try:
@@ -314,6 +390,7 @@ class ResultStore:
         return removed
 
     def __len__(self) -> int:
+        """Number of shards on disk for this store's epoch."""
         return len(self._shard_files())
 
     def stats(self) -> StoreStats:

@@ -1,6 +1,9 @@
 """Parallel sweep execution over lists/grids of scenario specs.
 
-A sweep is an ordered list of :class:`ScenarioSpec` values.  The
+A sweep is an ordered list of :class:`ScenarioSpec` values — or
+:class:`~repro.fleet.FleetSpec` values, which route through a
+:class:`~repro.fleet.FleetEngine` sharing the executor's session engine and
+store (capacity-planning sweeps resume and parallelise like any other).  The
 :class:`SweepExecutor` fans the list out over a thread pool (each session is
 NumPy-bound and self-contained, and the engine's caches are lock-guarded) or,
 with ``backend="process"``, over a process pool for true multi-core grids —
@@ -155,21 +158,32 @@ class SweepResult:
 #: forecaster training across every spec it is handed.
 _WORKER_ENGINE: SessionEngine | None = None
 
+#: Per-process fleet engine (wraps the worker's session engine; lazy like it).
+_WORKER_FLEET_ENGINE = None
 
-def _run_spec_in_worker(task: tuple[ScenarioSpec, tuple | None]) -> SessionResult:
+
+def _run_spec_in_worker(task: tuple[ScenarioSpec, tuple | None]):
     """Run one spec in a pool worker; ``task`` is ``(spec, store_config)``.
 
     ``store_config`` is ``(root, epoch, max_entries, max_bytes)`` or ``None``;
     each worker process opens its own :class:`ResultStore` handle on it, so
     results are persisted the moment a worker finishes them (per-key atomic
-    renames make the concurrent writers safe).
+    renames make the concurrent writers safe).  Fleet specs route through a
+    per-process :class:`~repro.fleet.FleetEngine` sharing the worker's
+    session engine and store.
     """
-    global _WORKER_ENGINE
+    global _WORKER_ENGINE, _WORKER_FLEET_ENGINE
     spec, store_config = task
     if _WORKER_ENGINE is None:
         store = ResultStore(*store_config) if store_config is not None else None
         _WORKER_ENGINE = SessionEngine(store=store)
-    return _WORKER_ENGINE.run(spec)
+    if isinstance(spec, ScenarioSpec):
+        return _WORKER_ENGINE.run(spec)
+    if _WORKER_FLEET_ENGINE is None:
+        from ..fleet import FleetEngine  # deferred: fleet imports scenarios
+
+        _WORKER_FLEET_ENGINE = FleetEngine(sessions=_WORKER_ENGINE, store=_WORKER_ENGINE.store)
+    return _WORKER_FLEET_ENGINE.run(spec)
 
 
 class SweepExecutor:
@@ -237,12 +251,32 @@ class SweepExecutor:
         self.engine = engine
         self.backend = backend
         self.store = store if store is not None else engine.store
+        self._fleet_engine = None  # lazy FleetEngine for FleetSpec rows
 
     def _store_config(self) -> tuple | None:
         """Picklable store parameters for worker processes."""
         if self.store is None:
             return None
         return (str(self.store.root), self.store.epoch, self.store.max_entries, self.store.max_bytes)
+
+    def _ensure_fleet_engine(self):
+        """The lazily created :class:`~repro.fleet.FleetEngine` for fleet rows.
+
+        Shares this executor's session engine (and therefore its dataset /
+        forecaster caches) and store — so capacity sweeps mix freely with
+        scenario sweeps.
+        """
+        if self._fleet_engine is None:
+            from ..fleet import FleetEngine  # deferred: fleet imports scenarios
+
+            self._fleet_engine = FleetEngine(sessions=self.engine, store=self.store)
+        return self._fleet_engine
+
+    def _run_one(self, spec):
+        """Run one spec through the right engine (session or fleet)."""
+        if isinstance(spec, ScenarioSpec):
+            return self.engine.run(spec)
+        return self._ensure_fleet_engine().run(spec)
 
     def run(self, specs: Iterable[ScenarioSpec]) -> SweepResult:
         """Execute every spec and return results in input order.
@@ -275,8 +309,12 @@ class SweepExecutor:
 
         if pending:
             pending_specs = [spec for _, spec in pending]
+            if any(not isinstance(spec, ScenarioSpec) for spec in pending_specs):
+                # Materialise the fleet engine before fanning out so worker
+                # threads never race its lazy construction.
+                self._ensure_fleet_engine()
             if self.jobs == 1 or len(pending_specs) == 1:
-                computed = [self.engine.run(spec) for spec in pending_specs]
+                computed = [self._run_one(spec) for spec in pending_specs]
             elif self.backend == "process":
                 store_config = self._store_config()
                 tasks = [(spec, store_config) for spec in pending_specs]
@@ -287,7 +325,7 @@ class SweepExecutor:
                 # serialises same-identity requests on a per-key lock, so workers
                 # can start immediately.
                 with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                    computed = list(pool.map(self.engine.run, pending_specs))
+                    computed = list(pool.map(self._run_one, pending_specs))
             for (index, _), row in zip(pending, computed):
                 rows[index] = row
         return SweepResult(rows, store_hits=hits, store_misses=misses)

@@ -1,0 +1,147 @@
+"""FleetSpec value semantics, arrival processes and the preset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    ARRIVAL_KINDS,
+    FleetSpec,
+    arrival_seed,
+    fleet_catalog,
+    fleet_names,
+    get_fleet,
+    register_fleet,
+    sample_arrival_times,
+)
+from repro.scenarios import ScenarioSpec, get_scenario
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        fleet = FleetSpec()
+        assert fleet.operators == 4
+        assert fleet.arrival == "simultaneous"
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"operators": 0},
+            {"aps": 0},
+            {"ap_capacity": 0},
+            {"ap_service_ms": 0.0},
+            {"ap_service_ms": -1.0},
+            {"arrival": "bursty"},
+            {"arrival": "poisson", "arrival_rate_hz": 0.0},
+            {"diurnal_period_s": 0.0},
+            {"diurnal_amplitude": 1.5},
+            {"diurnal_amplitude": -0.1},
+        ],
+    )
+    def test_invalid_fields_raise(self, changes):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(**changes)
+
+    def test_template_must_be_scenario_spec(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(template="clean")
+
+
+class TestIdentity:
+    def test_name_excluded_from_hash(self):
+        a = FleetSpec(name="a", operators=3)
+        b = FleetSpec(name="b", operators=3)
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_physical_fields_change_hash(self):
+        base = FleetSpec()
+        assert base.spec_hash() != base.with_(operators=5).spec_hash()
+        assert base.spec_hash() != base.with_(aps=2).spec_hash()
+        assert base.spec_hash() != base.with_(ap_capacity=3).spec_hash()
+        assert base.spec_hash() != base.with_(arrival="poisson").spec_hash()
+        assert base.spec_hash() != base.with_template(seed=7).spec_hash()
+
+    def test_hash_disjoint_from_template_session_hash(self):
+        template = get_scenario("random-loss")
+        fleet = FleetSpec(template=template, operators=1)
+        assert fleet.spec_hash() != template.spec_hash()
+
+    def test_canonical_is_json_safe(self):
+        import json
+
+        fleet = FleetSpec(template=get_scenario("jammer-congestion"), arrival="diurnal")
+        json.dumps(fleet.canonical(), sort_keys=True, allow_nan=False)
+
+    def test_builders(self):
+        fleet = FleetSpec().with_(operators=9).with_template(scale="standard", seed=3)
+        assert fleet.operators == 9
+        assert fleet.template.scale.name == "standard"
+        assert fleet.template.seed == 3
+        assert fleet.channel == fleet.template.channel
+        assert fleet.repetitions == fleet.template.repetitions
+
+    def test_describe_mentions_population_and_template(self):
+        text = FleetSpec(name="x", operators=6, arrival="poisson").describe()
+        assert "6 operators" in text
+        assert "poisson" in text
+
+
+class TestArrivals:
+    def test_simultaneous_is_all_zero(self):
+        fleet = FleetSpec(operators=5)
+        assert np.array_equal(sample_arrival_times(fleet, 0), np.zeros(5))
+
+    @pytest.mark.parametrize("kind", [k for k in ARRIVAL_KINDS if k != "simultaneous"])
+    def test_timed_arrivals_are_sorted_positive_and_deterministic(self, kind):
+        fleet = FleetSpec(operators=8, arrival=kind, arrival_rate_hz=0.5)
+        first = sample_arrival_times(fleet, 0)
+        again = sample_arrival_times(fleet, 0)
+        assert first.shape == (8,)
+        assert np.array_equal(first, again)
+        assert np.all(first > 0.0)
+        assert np.all(np.diff(first) >= 0.0)
+
+    def test_repetitions_decorrelate(self):
+        fleet = FleetSpec(operators=8, arrival="poisson", arrival_rate_hz=0.5)
+        assert not np.array_equal(sample_arrival_times(fleet, 0), sample_arrival_times(fleet, 1))
+        assert arrival_seed(fleet, 0) != arrival_seed(fleet, 1)
+
+    def test_spec_content_decorrelates_arrivals(self):
+        a = FleetSpec(operators=8, arrival="poisson", arrival_rate_hz=0.5)
+        b = a.with_(aps=2)
+        assert not np.array_equal(sample_arrival_times(a, 0), sample_arrival_times(b, 0))
+
+
+class TestRegistry:
+    def test_builtin_presets_exist(self):
+        names = fleet_names()
+        assert {"shared-ap", "peak-hour", "diurnal-campus"} <= set(names)
+        catalog = fleet_catalog()
+        assert all(catalog[name] for name in names)
+
+    def test_get_fleet_overrides(self):
+        fleet = get_fleet("shared-ap", operators=9, scale="standard", seed=5)
+        assert fleet.operators == 9
+        assert fleet.template.scale.name == "standard"
+        assert fleet.template.seed == 5
+        # fleet-level keyword overrides pass through with_()
+        assert get_fleet("shared-ap", aps=2).aps == 2
+
+    def test_unknown_fleet_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_fleet("nope")
+
+    def test_register_requires_distinct_name(self):
+        with pytest.raises(ConfigurationError):
+            register_fleet(FleetSpec(name="fleet"))
+        with pytest.raises(ConfigurationError):
+            register_fleet(get_fleet("shared-ap"))  # already taken
+
+    def test_register_and_overwrite(self):
+        spec = FleetSpec(name="test-register-fleet", template=ScenarioSpec(), operators=2)
+        register_fleet(spec, "temporary", overwrite=True)
+        assert get_fleet("test-register-fleet").operators == 2
+        register_fleet(spec.with_(operators=3), "temporary", overwrite=True)
+        assert get_fleet("test-register-fleet").operators == 3

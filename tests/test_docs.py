@@ -58,6 +58,24 @@ def test_docs_internal_links_resolve():
             )
 
 
+def test_architecture_mentions_every_subpackage():
+    """docs/architecture.md must cover the whole src/repro tree.
+
+    The module map drifted silently when wireless/markov.py and
+    scenarios/store.py landed; this pins the invariant that every
+    ``src/repro/*`` subpackage is at least mentioned by name.
+    """
+    text = (DOCS / "architecture.md").read_text(encoding="utf-8")
+    packages = sorted(
+        path.name
+        for path in (REPO_ROOT / "src" / "repro").iterdir()
+        if path.is_dir() and (path / "__init__.py").exists()
+    )
+    assert packages, "expected src/repro to contain subpackages"
+    missing = [name for name in packages if f"repro.{name}" not in text]
+    assert not missing, f"docs/architecture.md does not mention: {missing}"
+
+
 def test_mkdocs_nav_files_exist():
     config = (REPO_ROOT / "mkdocs.yml").read_text(encoding="utf-8")
     pages = re.findall(r":\s*([\w\-]+\.md)\s*$", config, flags=re.MULTILINE)
