@@ -12,7 +12,10 @@ contracts a clean checkout must honour:
   record-for-record identical results (fleet shards share the session
   store's epoch scheme);
 * a single-operator fleet is **bit-identical to** ``SessionEngine.run``
-  on its template (the solo-equality contract in miniature).
+  on its template (the solo-equality contract in miniature);
+* the **hybrid tier** below the crossover (every occupied AP hot) is
+  bit-identical to the exact engine, and a hybrid ``--fleet-tier`` run
+  against a warm store reports **100% hits**.
 
 Exit code 0 on success, 1 with a diagnostic on any violated expectation.
 Run it from an environment where ``repro`` is importable (CI installs the
@@ -26,7 +29,7 @@ import sys
 import tempfile
 
 from repro.experiments.runner import run_experiments
-from repro.fleet import FleetEngine, get_fleet
+from repro.fleet import FleetEngine, HybridFleetEngine, get_fleet
 from repro.scenarios import SessionEngine
 
 #: Operator population of the smoke fleet (small but genuinely contended).
@@ -72,13 +75,47 @@ def main() -> int:
     if fleet_row.rmse_foreco_mm != session_row.rmse_foreco_mm:
         failures.append("1-operator fleet is not bit-identical to SessionEngine")
 
+    # hybrid tier, below the crossover: every occupied AP classifies hot, so
+    # the hybrid result must degenerate to the exact computation bit for bit.
+    exact_fleet = get_fleet("shared-ap", operators=OPERATORS)
+    hybrid_fleet = exact_fleet.with_(tier="hybrid", hot_threshold=1e-9)
+    exact_row = FleetEngine(sessions=sessions).run(exact_fleet)
+    hybrid_row = HybridFleetEngine(sessions=sessions).run(hybrid_fleet)
+    if (
+        hybrid_row.rmse_foreco_mm != exact_row.rmse_foreco_mm
+        or hybrid_row.completion_time_s != exact_row.completion_time_s
+        or hybrid_row.recovery_fraction != exact_row.recovery_fraction
+    ):
+        failures.append("all-hot hybrid fleet is not bit-identical to the exact engine")
+    if hybrid_row.tier != "hybrid" or hybrid_row.analytic_sessions != 0:
+        failures.append("all-hot hybrid fleet reported unexpected tier metadata")
+
+    with tempfile.TemporaryDirectory(prefix="foreco-fleet-smoke-") as root:
+        cold = json.loads(
+            run_experiments([], scale="ci", seed=42, jobs=2, fmt="json",
+                            fleet=OPERATORS, fleet_tier="hybrid", store=root)
+        )
+        warm = json.loads(
+            run_experiments([], scale="ci", seed=42, jobs=2, fmt="json",
+                            fleet=OPERATORS, fleet_tier="hybrid", store=root,
+                            resume=True)
+        )
+        expected = len(cold["fleets"])
+        if (warm["store"]["hits"], warm["store"]["misses"]) != (expected, 0):
+            failures.append(f"warm hybrid run expected 100% hits, got {warm['store']}")
+        if cold["fleets"] != warm["fleets"]:
+            failures.append("warm hybrid records differ from the cold run")
+        if set(cold["fleet_tier"]["tiers"].values()) != {"hybrid"}:
+            failures.append("--fleet-tier hybrid override did not reach every preset")
+
     if failures:
         for failure in failures:
             print(f"FLEET SMOKE FAILURE: {failure}", file=sys.stderr)
         return 1
     print(
         f"fleet smoke ok: {len(serial['fleets'])} presets x {OPERATORS} operators, "
-        "jobs-invariant, 100% warm hits, solo == session"
+        "jobs-invariant, 100% warm hits (exact + hybrid), solo == session, "
+        "all-hot hybrid == exact"
     )
     return 0
 

@@ -20,7 +20,15 @@ from pathlib import Path
 
 import inspect
 
-from repro.fleet import ARRIVAL_KIND_SUMMARIES, ARRIVAL_KINDS, fleet_catalog, get_fleet
+from repro.fleet import (
+    ARRIVAL_KIND_SUMMARIES,
+    ARRIVAL_KINDS,
+    TIER_KIND_SUMMARIES,
+    TIER_KINDS,
+    FleetSpec,
+    fleet_catalog,
+    get_fleet,
+)
 from repro.forecasting import forecaster_names, make_forecaster
 from repro.scenarios import (
     CHANNEL_KIND_SUMMARIES,
@@ -77,17 +85,20 @@ def _channel_kind_table() -> list[str]:
 
 def _fleet_table() -> list[str]:
     lines = [
-        "| Fleet | Operators | APs | Capacity | Service (ms) | Arrival | Template | Description |",
-        "| --- | --- | --- | --- | --- | --- | --- | --- |",
+        "| Fleet | Operators | APs | Capacity | Service (ms) | Arrival | Tier | Template | Description |",
+        "| --- | --- | --- | --- | --- | --- | --- | --- | --- |",
     ]
     for name, description in fleet_catalog().items():
         fleet = get_fleet(name)
         arrival = fleet.arrival
         if arrival != "simultaneous":
             arrival = f"{arrival} @ {fleet.arrival_rate_hz:g}/s"
+        tier = fleet.tier
+        if tier != "exact":
+            tier = f"{tier} @ {fleet.hot_threshold:g}/{fleet.cold_tail}"
         lines.append(
             f"| `{name}` | {fleet.operators} | {fleet.aps} | {fleet.ap_capacity} | "
-            f"{fleet.ap_service_ms:g} | {arrival} | `{fleet.template.name}` | {description} |"
+            f"{fleet.ap_service_ms:g} | {arrival} | {tier} | `{fleet.template.name}` | {description} |"
         )
     return lines
 
@@ -99,6 +110,44 @@ def _arrival_kind_table() -> list[str]:
     ]
     for kind in ARRIVAL_KINDS:
         lines.append(f"| `{kind}` | {ARRIVAL_KIND_SUMMARIES.get(kind, '')} |")
+    return lines
+
+
+def _tier_table() -> list[str]:
+    lines = [
+        "| Tier | Execution |",
+        "| --- | --- |",
+    ]
+    for kind in TIER_KINDS:
+        lines.append(f"| `{kind}` | {TIER_KIND_SUMMARIES.get(kind, '')} |")
+    return lines
+
+
+def _tier_knob_table() -> list[str]:
+    defaults = FleetSpec()
+    rows = [
+        (
+            "hot_threshold",
+            f"{defaults.hot_threshold:g}",
+            "saturation score in (0, 1] at or above which an AP is simulated exactly",
+        ),
+        (
+            "cold_tail",
+            f"`{defaults.cold_tail}`",
+            "tail family of the cold-AP superposition model (`gaussian` or `heavy`)",
+        ),
+        (
+            "cold_tail_index",
+            f"{defaults.cold_tail_index:g}",
+            "Pareto shape of the `heavy` tail (> 1; larger is thinner)",
+        ),
+    ]
+    lines = [
+        "| Knob | Default | Meaning |",
+        "| --- | --- | --- |",
+    ]
+    for knob, default, meaning in rows:
+        lines.append(f"| `{knob}` | {default} | {meaning} |")
     return lines
 
 
@@ -199,6 +248,19 @@ def render() -> str:
     parts.append("[fleet operations guide](fleet.md).\n")
     parts.extend(_arrival_kind_table())
     parts.append("")
+    parts.append("## Simulation tiers\n")
+    parts.extend(_tier_table())
+    parts.append("\nThe `hybrid` tier classifies every AP hot or cold with the Bianchi")
+    parts.append("saturation score (`repro.wireless.bianchi.saturation_score`) and")
+    parts.append("services cold APs with the analytic superposition model")
+    parts.append("(`repro.wireless.superposition`) instead of the exact Lindley")
+    parts.append("backlog.  Tier knobs on `FleetSpec` (hash-relevant: an exact and a")
+    parts.append("hybrid run occupy different store addresses, but share arrivals and")
+    parts.append("channels through `workload_identity()`):\n")
+    parts.extend(_tier_knob_table())
+    parts.append("\nOverride from the CLI with `foreco-experiments --fleet-tier")
+    parts.append("hybrid|exact`; crossover guidance and the error bound live in the")
+    parts.append('[fleet operations guide](fleet.md), "City scale".\n')
     parts.append("## Sizing scales\n")
     parts.extend(_scale_table())
     parts.append("\n`full` approaches the paper's sweep sizes; `ci` keeps every")

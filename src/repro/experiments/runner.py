@@ -36,8 +36,13 @@ The ``fleet`` keyword runs every fleet preset from
 :mod:`repro.fleet.registry` — multi-operator service workloads with shared
 access points, admission control and arrival processes (see
 ``docs/fleet.md``).  ``--fleet N`` overrides the operator population of
-every fleet preset (and implies the ``fleet`` run); fleets honour
-``--jobs``, ``--store`` and ``--resume`` exactly like scenario sweeps.
+every fleet preset (and implies the ``fleet`` run); ``--fleet-tier
+hybrid|exact`` overrides the simulation tier (the city-scale hybrid tier
+classifies APs hot/cold and services the cold tail analytically — see
+``docs/fleet.md`` "City scale"); fleets honour ``--jobs``, ``--store`` and
+``--resume`` exactly like scenario sweeps.  Reports carry a tier section:
+per-fleet tier fields in JSON rows plus an aggregate ``fleet_tier`` block,
+and a ``tier:`` summary line in text mode.
 """
 
 from __future__ import annotations
@@ -104,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fleet", type=int, default=None, metavar="N",
                         help="operator-population override for the fleet presets; "
                         "implies the 'fleet' run (see docs/fleet.md)")
+    parser.add_argument("--fleet-tier", dest="fleet_tier", default=None,
+                        choices=["exact", "hybrid"],
+                        help="simulation-tier override for the fleet presets: "
+                        "'exact' forces the vectorized Lindley path, 'hybrid' the "
+                        "city-scale exact/analytic tier (default: each preset's own "
+                        "tier; see docs/fleet.md 'City scale')")
     parser.add_argument("--format", dest="fmt", default="text", choices=["text", "json"],
                         help="report format (default: text)")
     parser.add_argument("--output", default=None, help="also write the report to this file")
@@ -142,6 +153,7 @@ def run_experiments(
     store: str | None = None,
     resume: bool = False,
     fleet: int | None = None,
+    fleet_tier: str | None = None,
 ) -> str:
     """Run the selected experiments/scenarios/fleets and return the report."""
     names = list(names)
@@ -177,8 +189,9 @@ def run_experiments(
 
         fleet_presets = fleet_names()
         try:
+            fleet_overrides = {} if fleet_tier is None else {"tier": fleet_tier}
             fleet_specs = [
-                get_fleet(name, operators=fleet, scale=scale, seed=seed)
+                get_fleet(name, operators=fleet, scale=scale, seed=seed, **fleet_overrides)
                 for name in fleet_presets
             ]
         except ConfigurationError as exc:
@@ -195,6 +208,14 @@ def run_experiments(
             document["scenarios"] = sweep.to_records()
         if fleet_sweep is not None:
             document["fleets"] = fleet_sweep.to_records()
+            document["fleet_tier"] = {
+                "override": fleet_tier,
+                "tiers": {row.spec.name: row.tier for row in fleet_sweep},
+                "hot_aps": sum(row.hot_aps for row in fleet_sweep),
+                "cold_aps": sum(row.cold_aps for row in fleet_sweep),
+                "exact_sessions": sum(row.exact_sessions for row in fleet_sweep),
+                "analytic_sessions": sum(row.analytic_sessions for row in fleet_sweep),
+            }
         if result_store is not None and (sweep is not None or fleet_sweep is not None):
             stats = result_store.stats()
             hits = sum(s.store_hits for s in (sweep, fleet_sweep) if s is not None)
@@ -239,6 +260,15 @@ def run_experiments(
             if description:
                 sections.append(f"## {name} — {description}")
             sections.append(row.to_text())
+        hybrid_rows = [row for row in fleet_sweep if row.tier != "exact"]
+        tier_line = (
+            f"tier: {len(hybrid_rows)}/{len(fleet_sweep)} presets hybrid "
+            f"({sum(r.exact_sessions for r in fleet_sweep)} exact + "
+            f"{sum(r.analytic_sessions for r in fleet_sweep)} analytic sessions)"
+        )
+        if fleet_tier is not None:
+            tier_line += f" | --fleet-tier {fleet_tier} override"
+        sections.append(tier_line)
         if result_store is not None:
             stats = result_store.stats()
             sections.append(
@@ -265,6 +295,7 @@ def main(argv: list[str] | None = None) -> int:
         store=args.store,
         resume=args.resume,
         fleet=args.fleet,
+        fleet_tier=args.fleet_tier,
     )
     sys.stdout.write(report)
     if args.output:

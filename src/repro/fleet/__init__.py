@@ -14,8 +14,13 @@ serving heavy traffic actually sees.
   one batched session-kernel pass over every admitted operator-session;
   :class:`FleetResult` carries the service-level metrics (p50/p99 recovery,
   completion-time distribution, AP utilisation, dropped sessions);
+* :mod:`repro.fleet.hybrid` — the :class:`HybridFleetEngine` city-scale
+  tier: Bianchi-classified hot APs run the exact path, the cold long tail
+  is serviced by the analytic Gaussian/heavy-tail superposition model
+  (:mod:`repro.wireless.superposition`) — deterministic and
+  store-cacheable like everything else;
 * :mod:`repro.fleet.registry` — named fleet presets (``shared-ap``,
-  ``peak-hour``, ``diurnal-campus``).
+  ``peak-hour``, ``diurnal-campus``, ``city-scale``).
 
 Fleet results persist in the same content-addressed
 :class:`~repro.scenarios.ResultStore` (and engine-epoch scheme) as session
@@ -33,10 +38,13 @@ from ..scenarios.store import (
     register_store_codec,
 )
 from .engine import FleetEngine, FleetResult, operator_channel_spec
+from .hybrid import ApClassification, HybridFleetEngine, classify_aps, cold_draw_seed
 from .registry import fleet_catalog, fleet_names, get_fleet, register_fleet
 from .spec import (
     ARRIVAL_KIND_SUMMARIES,
     ARRIVAL_KINDS,
+    TIER_KIND_SUMMARIES,
+    TIER_KINDS,
     FleetSpec,
     arrival_seed,
     sample_arrival_times,
@@ -52,12 +60,17 @@ _FLEET_METRICS = (
 
 
 def _encode_fleet(result: FleetResult) -> dict:
-    """Kind-specific payload fields for a fleet record."""
+    """Kind-specific payload fields for a fleet record (tier metadata included)."""
     payload = {
         "n_commands": int(result.n_commands),
         "admitted": int(result.admitted),
         "dropped_sessions": int(result.dropped_sessions),
         "ap_utilization": [float(u) for u in result.ap_utilization],
+        "tier": str(result.tier),
+        "hot_aps": int(result.hot_aps),
+        "cold_aps": int(result.cold_aps),
+        "exact_sessions": int(result.exact_sessions),
+        "analytic_sessions": int(result.analytic_sessions),
         "delays_ms": encode_delays(result.delays_ms),
     }
     for metric in _FLEET_METRICS:
@@ -71,6 +84,9 @@ def _decode_fleet(spec: FleetSpec, key: str, payload: dict) -> FleetResult:
     utilization = payload["ap_utilization"]
     if not isinstance(utilization, list) or len(utilization) != spec.aps:
         raise ValueError("ap_utilization does not match the spec's AP count")
+    tier = str(payload["tier"])
+    if tier != spec.tier:
+        raise ValueError(f"stored tier {tier!r} does not match the spec's {spec.tier!r}")
     return FleetResult(
         spec=spec,
         spec_hash=key,
@@ -78,6 +94,11 @@ def _decode_fleet(spec: FleetSpec, key: str, payload: dict) -> FleetResult:
         admitted=int(payload["admitted"]),
         dropped_sessions=int(payload["dropped_sessions"]),
         ap_utilization=tuple(float(u) for u in utilization),
+        tier=tier,
+        hot_aps=int(payload["hot_aps"]),
+        cold_aps=int(payload["cold_aps"]),
+        exact_sessions=int(payload["exact_sessions"]),
+        analytic_sessions=int(payload["analytic_sessions"]),
         outcome=None,  # trajectories are in-memory only (store module docs)
         delays_ms=decode_delays(payload.get("delays_ms")),
         **metrics,
@@ -89,10 +110,16 @@ register_store_codec("fleet", _encode_fleet, _decode_fleet)
 __all__ = [
     "ARRIVAL_KIND_SUMMARIES",
     "ARRIVAL_KINDS",
+    "ApClassification",
     "FleetEngine",
     "FleetResult",
     "FleetSpec",
+    "HybridFleetEngine",
+    "TIER_KIND_SUMMARIES",
+    "TIER_KINDS",
     "arrival_seed",
+    "classify_aps",
+    "cold_draw_seed",
     "fleet_catalog",
     "fleet_names",
     "get_fleet",

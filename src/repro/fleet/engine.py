@@ -47,6 +47,7 @@ several times faster than running the sessions one by one.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -110,6 +111,16 @@ class FleetResult:
     recovery_fraction: tuple[float, ...]
     completion_time_s: tuple[float, ...]
     ap_utilization: tuple[float, ...]
+    #: Simulation tier that produced this result ("exact" or "hybrid").
+    tier: str = "exact"
+    #: APs classified hot (all of them for an exact run).
+    hot_aps: int = 0
+    #: APs classified cold (0 for an exact run).
+    cold_aps: int = 0
+    #: Admitted sessions that went through the exact Lindley path.
+    exact_sessions: int = 0
+    #: Admitted sessions serviced by the analytic superposition model.
+    analytic_sessions: int = 0
     outcome: SimulationOutcome | None = field(repr=False, default=None)
     delays_ms: np.ndarray | None = field(repr=False, default=None)
 
@@ -201,6 +212,11 @@ class FleetResult:
             "n_commands": self.n_commands,
             "admitted": self.admitted,
             "dropped_sessions": self.dropped_sessions,
+            "tier": self.tier,
+            "hot_aps": self.hot_aps,
+            "cold_aps": self.cold_aps,
+            "exact_sessions": self.exact_sessions,
+            "analytic_sessions": self.analytic_sessions,
             "mean_rmse_no_forecast_mm": self.mean_rmse_no_forecast_mm,
             "mean_rmse_foreco_mm": self.mean_rmse_foreco_mm,
             "improvement_factor": factor if np.isfinite(factor) else None,
@@ -214,15 +230,31 @@ class FleetResult:
 
     def to_text(self) -> str:
         """Compact multi-line service report for one fleet."""
-        ap_cells = "  ".join(f"ap{i} {u:.2f}" for i, u in enumerate(self.ap_utilization))
-        return "\n".join(
-            [
+        if len(self.ap_utilization) > 8:
+            busiest = sorted(
+                range(len(self.ap_utilization)),
+                key=lambda i: self.ap_utilization[i],
+                reverse=True,
+            )[:8]
+            ap_cells = "  ".join(f"ap{i} {self.ap_utilization[i]:.2f}" for i in sorted(busiest))
+            ap_cells += f"  ... ({len(self.ap_utilization)} APs, busiest 8 shown)"
+        else:
+            ap_cells = "  ".join(f"ap{i} {u:.2f}" for i, u in enumerate(self.ap_utilization))
+        lines = [
                 self.spec.describe(),
                 (
                     f"  sessions: {self.admitted} admitted, "
                     f"{self.dropped_sessions} dropped | "
                     f"{self.n_commands} commands/session"
                 ),
+        ]
+        if self.tier != "exact":
+            lines.append(
+                f"  tier: {self.tier} | {self.hot_aps} hot / {self.cold_aps} cold APs | "
+                f"{self.exact_sessions} exact + {self.analytic_sessions} analytic sessions"
+            )
+        lines.extend(
+            [
                 (
                     f"  RMSE: baseline {self.mean_rmse_no_forecast_mm:.2f} mm -> "
                     f"FoReCo {self.mean_rmse_foreco_mm:.2f} mm "
@@ -236,6 +268,7 @@ class FleetResult:
                 f"  AP utilization: {ap_cells}",
             ]
         )
+        return "\n".join(lines)
 
 
 # ------------------------------------------------------------------ schedule
@@ -264,19 +297,23 @@ def _plan_repetition(fleet: FleetSpec, repetition: int, n_commands: int) -> tupl
     offsets = np.floor(arrivals / period_s).astype(int)
     order = np.argsort(offsets, kind="stable")
     admitted: list[_Session] = []
+    # Per-AP admitted arrival offsets, in admission (nondecreasing) order —
+    # the sessions still active at a new arrival are a suffix, found by
+    # bisection.  O(N log N) overall, which is what keeps admission planning
+    # negligible at city scale (thousands of operators).
+    per_ap_offsets: dict[int, list[int]] = {}
     dropped = 0
     for operator in order:
         operator = int(operator)
         offset = int(offsets[operator])
         ap = operator % fleet.aps
-        active = sum(
-            1
-            for session in admitted
-            if session.ap == ap and session.offset_slots + n_commands > offset
-        )
+        active_offsets = per_ap_offsets.setdefault(ap, [])
+        # active iff offset_slots + n_commands > offset
+        active = len(active_offsets) - bisect_right(active_offsets, offset - n_commands)
         if active >= fleet.ap_capacity:
             dropped += 1
             continue
+        active_offsets.append(offset)
         admitted.append(
             _Session(operator=operator, repetition=repetition, offset_slots=offset, ap=ap)
         )
@@ -372,7 +409,23 @@ class FleetEngine:
 
     # --------------------------------------------------------------- compute
     def _compute(self, fleet: FleetSpec, batch: bool | None = None) -> FleetResult:
-        """Plan, sample, couple and simulate one fleet from scratch."""
+        """Plan, sample, couple and simulate one fleet from scratch.
+
+        The base engine handles the ``"exact"`` tier only; hybrid-tier
+        specs need the :class:`~repro.fleet.hybrid.HybridFleetEngine`
+        (which subclasses this engine and reuses the exact path for hot
+        APs).  The guard keeps tier selection explicit — an exact engine
+        silently approximating would break the content-address contract.
+        """
+        if fleet.tier != "exact":
+            raise ConfigurationError(
+                f"FleetEngine runs tier='exact' fleets only, got tier={fleet.tier!r}; "
+                "use repro.fleet.HybridFleetEngine (it handles both tiers)"
+            )
+        return self._compute_exact(fleet, batch=batch)
+
+    def _compute_exact(self, fleet: FleetSpec, batch: bool | None = None) -> FleetResult:
+        """The exact path: every admitted session through the Lindley backlog."""
         template = fleet.template
         commands = self.sessions.test_commands(template)
         n_commands = int(commands.shape[0])
@@ -429,6 +482,11 @@ class FleetEngine:
             recovery_fraction=tuple(o.recovery_fraction for o in outcomes),
             completion_time_s=completion,
             ap_utilization=utilization,
+            tier=fleet.tier,
+            hot_aps=fleet.aps,
+            cold_aps=0,
+            exact_sessions=len(sessions_flat),
+            analytic_sessions=0,
             outcome=outcomes[-1],
             delays_ms=coupled[-1],
         )

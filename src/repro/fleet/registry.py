@@ -14,6 +14,12 @@ benchmarks share one vocabulary of service workloads:
 ``diurnal-campus``
     Twelve operators following a diurnal load curve over three APs — the
     arrival-rate swing concentrates sessions near the peak of the curve.
+``city-scale``
+    Two thousand operators arriving Poisson over 256 APs, run through the
+    **hybrid** exact/analytic tier (see :mod:`repro.fleet.hybrid`): the few
+    saturated APs simulate exactly, the long cold tail is serviced by the
+    analytic heavy-tail superposition model — the workload shape of the
+    "fleets of millions" north star, at a cost a laptop can pay.
 
 Use :func:`register_fleet` to add project-specific presets.
 """
@@ -126,6 +132,22 @@ def _register_builtins() -> None:
             diurnal_amplitude=0.9,
         ),
         "12 operators on a diurnal load curve over 3 APs (peak-hour clustering)",
+    )
+    register_fleet(
+        FleetSpec(
+            name="city-scale",
+            template=get_scenario("bursty-loss"),
+            operators=2048,
+            aps=256,
+            ap_capacity=8,
+            ap_service_ms=4.0,
+            arrival="poisson",
+            arrival_rate_hz=8.0,
+            tier="hybrid",
+            hot_threshold=0.6,
+            cold_tail="heavy",
+        ),
+        "2048 operators Poisson over 256 APs via the hybrid exact/analytic tier",
     )
 
 

@@ -35,6 +35,7 @@ import numpy as np
 from ..des.distributions import Exponential, UniformDistribution
 from ..errors import ConfigurationError
 from ..scenarios.spec import ScenarioSpec
+from ..wireless.superposition import TAIL_KINDS
 
 #: Session arrival processes understood by the fleet engine.
 ARRIVAL_KINDS: tuple[str, ...] = ("simultaneous", "poisson", "diurnal")
@@ -45,6 +46,42 @@ ARRIVAL_KIND_SUMMARIES: dict[str, str] = {
     "poisson": "memoryless session arrivals at a constant rate (sessions/s)",
     "diurnal": "non-homogeneous Poisson arrivals following a sinusoidal load curve",
 }
+
+#: Simulation tiers understood by the fleet engines.
+TIER_KINDS: tuple[str, ...] = ("exact", "hybrid")
+
+#: One-line summary per simulation tier (rendered into the docs reference).
+TIER_KIND_SUMMARIES: dict[str, str] = {
+    "exact": "every admitted session through the vectorized Lindley backlog",
+    "hybrid": "hot APs exact, cold APs via the analytic superposition model",
+}
+
+
+def _coerce_int(name: str, value) -> int:
+    """``int(value)`` that fails as a :class:`ConfigurationError`, not ValueError.
+
+    Non-integral values (e.g. ``aps=2.5``) are rejected rather than silently
+    truncated.
+    """
+    try:
+        result = int(value)
+        exact = float(value) == float(result)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}") from exc
+    if not exact:
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    return result
+
+
+def _coerce_float(name: str, value) -> float:
+    """``float(value)`` that fails as a :class:`ConfigurationError`, not ValueError."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(result):
+        raise ConfigurationError(f"{name} must not be NaN")
+    return result
 
 
 @dataclass(frozen=True)
@@ -92,6 +129,24 @@ class FleetSpec:
         Shape of the ``"diurnal"`` load curve: the instantaneous rate is
         ``arrival_rate_hz * (1 + diurnal_amplitude * sin(2*pi*t /
         diurnal_period_s))``, sampled by thinning against the peak rate.
+    tier:
+        Simulation tier (see :data:`TIER_KINDS`).  ``"exact"`` runs every
+        admitted session through the vectorized Lindley backlog;
+        ``"hybrid"`` classifies each AP hot or cold with the Bianchi
+        saturation score (:func:`repro.wireless.bianchi.saturation_score`)
+        and services cold APs with the analytic superposition model —
+        see :mod:`repro.fleet.hybrid`.  The tier selects an execution
+        strategy over the *same* workload: arrival times and channel
+        realisations are derived from :meth:`workload_identity`, which
+        excludes the tier knobs, so a hybrid fleet and its exact twin see
+        identical arrivals and channels.
+    hot_threshold:
+        Saturation score in ``(0, 1]`` at or above which an AP is
+        classified hot (simulated exactly) by the hybrid tier.
+    cold_tail / cold_tail_index:
+        Tail family (``"gaussian"`` or ``"heavy"``) and Pareto shape of the
+        cold-AP superposition model — see
+        :class:`repro.wireless.superposition.SuperpositionModel`.
     """
 
     name: str = "fleet"
@@ -104,36 +159,88 @@ class FleetSpec:
     arrival_rate_hz: float = 0.5
     diurnal_period_s: float = 240.0
     diurnal_amplitude: float = 0.8
+    tier: str = "exact"
+    hot_threshold: float = 0.5
+    cold_tail: str = "gaussian"
+    cold_tail_index: float = 3.0
 
     def __post_init__(self) -> None:
-        """Validate the population, topology and arrival-process fields."""
+        """Validate the population, topology, arrival-process and tier fields.
+
+        Every violation — including non-numeric field values, zero-capacity
+        APs, empty operator populations and tier thresholds outside
+        ``(0, 1]`` — raises :class:`~repro.errors.ConfigurationError`, never
+        a bare ``ValueError`` or ``ZeroDivisionError``.
+        """
         if not isinstance(self.template, ScenarioSpec):
             raise ConfigurationError("FleetSpec.template must be a ScenarioSpec")
-        if int(self.operators) < 1:
-            raise ConfigurationError("a fleet needs at least one operator")
-        if int(self.aps) < 1:
+        for int_field in ("operators", "aps", "ap_capacity"):
+            object.__setattr__(self, int_field, _coerce_int(int_field, getattr(self, int_field)))
+        for float_field in ("ap_service_ms", "hot_threshold", "cold_tail_index"):
+            object.__setattr__(self, float_field, _coerce_float(float_field, getattr(self, float_field)))
+        if self.operators < 1:
+            raise ConfigurationError(
+                "a fleet needs at least one operator (empty operator populations "
+                "are not a valid workload)"
+            )
+        if self.aps < 1:
             raise ConfigurationError("a fleet needs at least one access point")
-        if int(self.ap_capacity) < 1:
-            raise ConfigurationError("ap_capacity must be >= 1")
-        if float(self.ap_service_ms) <= 0.0:
+        if self.ap_capacity < 1:
+            raise ConfigurationError("ap_capacity must be >= 1 (zero-capacity APs admit nobody)")
+        if self.ap_service_ms <= 0.0:
             raise ConfigurationError("ap_service_ms must be > 0")
         if self.arrival not in ARRIVAL_KINDS:
             raise ConfigurationError(
                 f"unknown arrival kind {self.arrival!r}; available: {sorted(ARRIVAL_KINDS)}"
             )
-        if self.arrival != "simultaneous" and float(self.arrival_rate_hz) <= 0.0:
+        if self.arrival != "simultaneous" and _coerce_float("arrival_rate_hz", self.arrival_rate_hz) <= 0.0:
             raise ConfigurationError("arrival_rate_hz must be > 0 for timed arrivals")
-        if float(self.diurnal_period_s) <= 0.0:
+        if _coerce_float("diurnal_period_s", self.diurnal_period_s) <= 0.0:
             raise ConfigurationError("diurnal_period_s must be > 0")
-        if not 0.0 <= float(self.diurnal_amplitude) <= 1.0:
+        if not 0.0 <= _coerce_float("diurnal_amplitude", self.diurnal_amplitude) <= 1.0:
             raise ConfigurationError("diurnal_amplitude must be in [0, 1]")
+        if self.tier not in TIER_KINDS:
+            raise ConfigurationError(
+                f"unknown fleet tier {self.tier!r}; available: {sorted(TIER_KINDS)}"
+            )
+        if not 0.0 < self.hot_threshold <= 1.0:
+            raise ConfigurationError("hot_threshold must be in (0, 1]")
+        if self.cold_tail not in TAIL_KINDS:
+            raise ConfigurationError(
+                f"unknown cold_tail {self.cold_tail!r}; available: {sorted(TAIL_KINDS)}"
+            )
+        if self.cold_tail_index <= 1.0:
+            raise ConfigurationError("cold_tail_index must be > 1 (finite-mean Pareto)")
 
     # --------------------------------------------------------------- identity
     #: Record kind this spec stores/loads under in a ResultStore.
     store_kind = "fleet"
 
     def canonical(self) -> dict:
-        """JSON-safe canonical representation (the hashing domain)."""
+        """JSON-safe canonical representation (the hashing domain).
+
+        Includes the simulation-tier knobs: an exact and a hybrid run of the
+        same workload are *different results* (the hybrid one is an
+        approximation) and must occupy different store addresses.
+        """
+        payload = self.workload_identity()
+        payload["tier"] = {
+            "kind": self.tier,
+            "hot_threshold": float(self.hot_threshold),
+            "cold_tail": self.cold_tail,
+            "cold_tail_index": float(self.cold_tail_index),
+        }
+        return payload
+
+    def workload_identity(self) -> dict:
+        """The canonical representation *minus* the tier knobs.
+
+        This is the randomness domain: arrival times
+        (:func:`arrival_seed`) derive from it, so a hybrid fleet and its
+        exact twin realise identical arrivals (and, since channel seeds
+        come from the template, identical channels) — the property the
+        hybrid-vs-exact error gate measures against.
+        """
         return {
             "kind": "fleet",
             "template": self.template.canonical(),
@@ -183,9 +290,12 @@ class FleetSpec:
         timing = self.arrival
         if self.arrival != "simultaneous":
             timing = f"{self.arrival}@{self.arrival_rate_hz:g}/s"
+        tier = ""
+        if self.tier != "exact":
+            tier = f", {self.tier} tier @ {self.hot_threshold:g}/{self.cold_tail}"
         return (
             f"{self.name}: {self.operators} operators over {self.aps} AP(s) "
-            f"(capacity {self.ap_capacity}, service {self.ap_service_ms:g} ms), "
+            f"(capacity {self.ap_capacity}, service {self.ap_service_ms:g} ms{tier}), "
             f"{timing} arrivals | template {self.template.name}: "
             f"{self.template.channel.describe()}"
         )
@@ -200,11 +310,13 @@ def _hash_seed(payload: str) -> int:
 def arrival_seed(fleet: FleetSpec, repetition: int) -> int:
     """Deterministic RNG seed for one fleet realisation's arrival draws.
 
-    Derived from the fleet's canonical content plus the repetition index —
-    independent of worker scheduling, so parallel capacity sweeps reproduce
-    serial ones exactly.
+    Derived from the fleet's :meth:`FleetSpec.workload_identity` (canonical
+    content minus the tier knobs) plus the repetition index — independent of
+    worker scheduling, so parallel capacity sweeps reproduce serial ones
+    exactly, and independent of the simulation tier, so a hybrid fleet and
+    its exact twin realise identical arrivals.
     """
-    identity = json.dumps(fleet.canonical(), sort_keys=True, separators=(",", ":"))
+    identity = json.dumps(fleet.workload_identity(), sort_keys=True, separators=(",", ":"))
     return _hash_seed(f"{identity}::arrivals::{int(repetition)}")
 
 

@@ -81,7 +81,10 @@ from .spec import ChannelSpec, ExperimentScale, ScenarioSpec, _jsonify, get_scal
 #: produced for an *unchanged* spec hash (PR 3's compound-seed fix is the
 #: canonical example: spec hashes survived, compound delay traces did not).
 #: Pure refactors, new channel kinds and performance work do NOT bump it.
-ENGINE_EPOCH = 4
+#: Epoch 5: the fleet record schema gained mandatory tier metadata and fleet
+#: spec hashes moved to the tier-aware canonical form, so epoch-4 fleet
+#: shards are unreadable by (and invisible to) the hybrid-tier engines.
+ENGINE_EPOCH = 5
 
 
 # ------------------------------------------------------------------- datasets

@@ -2,8 +2,9 @@
 
 A sweep is an ordered list of :class:`ScenarioSpec` values — or
 :class:`~repro.fleet.FleetSpec` values, which route through a
-:class:`~repro.fleet.FleetEngine` sharing the executor's session engine and
-store (capacity-planning sweeps resume and parallelise like any other).  The
+:class:`~repro.fleet.HybridFleetEngine` sharing the executor's session
+engine and store (capacity-planning sweeps resume and parallelise like any
+other; the hybrid engine runs both the exact and the hybrid fleet tier).  The
 :class:`SweepExecutor` fans the list out over a thread pool (each session is
 NumPy-bound and self-contained, and the engine's caches are lock-guarded) or,
 with ``backend="process"``, over a process pool for true multi-core grids —
@@ -169,8 +170,9 @@ def _run_spec_in_worker(task: tuple[ScenarioSpec, tuple | None]):
     each worker process opens its own :class:`ResultStore` handle on it, so
     results are persisted the moment a worker finishes them (per-key atomic
     renames make the concurrent writers safe).  Fleet specs route through a
-    per-process :class:`~repro.fleet.FleetEngine` sharing the worker's
-    session engine and store.
+    per-process :class:`~repro.fleet.HybridFleetEngine` sharing the worker's
+    session engine and store (it runs both fleet tiers; exact-tier specs
+    take the plain :class:`~repro.fleet.FleetEngine` path unchanged).
     """
     global _WORKER_ENGINE, _WORKER_FLEET_ENGINE
     spec, store_config = task
@@ -180,9 +182,11 @@ def _run_spec_in_worker(task: tuple[ScenarioSpec, tuple | None]):
     if isinstance(spec, ScenarioSpec):
         return _WORKER_ENGINE.run(spec)
     if _WORKER_FLEET_ENGINE is None:
-        from ..fleet import FleetEngine  # deferred: fleet imports scenarios
+        from ..fleet import HybridFleetEngine  # deferred: fleet imports scenarios
 
-        _WORKER_FLEET_ENGINE = FleetEngine(sessions=_WORKER_ENGINE, store=_WORKER_ENGINE.store)
+        _WORKER_FLEET_ENGINE = HybridFleetEngine(
+            sessions=_WORKER_ENGINE, store=_WORKER_ENGINE.store
+        )
     return _WORKER_FLEET_ENGINE.run(spec)
 
 
@@ -260,16 +264,19 @@ class SweepExecutor:
         return (str(self.store.root), self.store.epoch, self.store.max_entries, self.store.max_bytes)
 
     def _ensure_fleet_engine(self):
-        """The lazily created :class:`~repro.fleet.FleetEngine` for fleet rows.
+        """The lazily created :class:`~repro.fleet.HybridFleetEngine` for fleet rows.
 
         Shares this executor's session engine (and therefore its dataset /
         forecaster caches) and store — so capacity sweeps mix freely with
-        scenario sweeps.
+        scenario sweeps.  The hybrid engine runs *both* fleet tiers:
+        exact-tier specs take the plain :class:`~repro.fleet.FleetEngine`
+        path unchanged, hybrid-tier specs route through the city-scale
+        classifier (see :mod:`repro.fleet.hybrid`).
         """
         if self._fleet_engine is None:
-            from ..fleet import FleetEngine  # deferred: fleet imports scenarios
+            from ..fleet import HybridFleetEngine  # deferred: fleet imports scenarios
 
-            self._fleet_engine = FleetEngine(sessions=self.engine, store=self.store)
+            self._fleet_engine = HybridFleetEngine(sessions=self.engine, store=self.store)
         return self._fleet_engine
 
     def _run_one(self, spec):

@@ -20,13 +20,17 @@ This package reproduces the modelling chain the paper relies on (§V):
   paper's single-cause scenarios: ``K``-state Markov-modulated delay/loss
   regimes (superposable heterogeneous interference) and a periodic AP
   handover profile.
+* :mod:`repro.wireless.superposition` — the analytic Gaussian/heavy-tail
+  superposition limit for the aggregate air-time demand of lightly loaded
+  APs, used (with :func:`repro.wireless.bianchi.saturation_score` as the
+  hot/cold classifier) by the fleet layer's hybrid simulation tier.
 
 Every stochastic sampler ships a serial reference path plus a ``(B, n)``
 batched path that is bit-identical to per-seed serial sampling (the
 channel-layer randomness contract used by the scenario engine).
 """
 
-from .bianchi import DcfModel, DcfParameters, DcfSolution, InterferenceSource
+from .bianchi import DcfModel, DcfParameters, DcfSolution, InterferenceSource, saturation_score
 from .channel import ChannelSample, CommandDelayTrace, WirelessChannel, trace_from_delays
 from .delay_model import (
     Ieee80211DelayModel,
@@ -44,12 +48,17 @@ from .markov import (
     sample_handover_delays_batch,
     sample_markov_delays_batch,
 )
+from .superposition import TAIL_KIND_SUMMARIES, TAIL_KINDS, SuperpositionModel
 
 __all__ = [
     "DcfModel",
     "DcfParameters",
     "DcfSolution",
     "InterferenceSource",
+    "saturation_score",
+    "SuperpositionModel",
+    "TAIL_KIND_SUMMARIES",
+    "TAIL_KINDS",
     "ChannelSample",
     "CommandDelayTrace",
     "WirelessChannel",

@@ -31,12 +31,13 @@ interference is ``q_if = p_if * T_if / (1 + p_if * T_if)``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .._validation import ensure_int, ensure_positive, ensure_probability
-from ..errors import ChannelError
+from ..errors import ChannelError, ConfigurationError
 
 
 @dataclass
@@ -276,3 +277,52 @@ class DcfModel:
             + p_collision * t_collision
             + p_interfered * t_interference
         )
+
+
+# ------------------------------------------------------------- classification
+def saturation_score(
+    params: DcfParameters | int,
+    offered_load: float | None = None,
+) -> float:
+    """Closed-form saturation score of one DCF cell, in ``[0, 1]``.
+
+    The score is the probability that an arbitrary transmission attempt in
+    the cell is *not* cleanly absorbed: the Bianchi fixed point's conditional
+    failure probability ``p`` (collision or interference corruption, see
+    :class:`DcfModel`), optionally composed with the cell's offered air-time
+    load.  With both loss mechanisms treated as independent,
+
+    .. math::
+
+        \\text{score} = 1 - (1 - p)\\,(1 - \\min(1, \\rho))
+
+    where ``rho`` is ``offered_load`` — air-time demand over air-time budget
+    (e.g. ``m * service_ms / period_ms`` for ``m`` stations each occupying
+    the medium for ``service_ms`` per ``period_ms`` command slot).  Omitting
+    ``offered_load`` returns the bare fixed-point ``p``.
+
+    The fleet layer's hybrid tier uses this as its hot/cold AP classifier
+    (see :mod:`repro.fleet.hybrid`): an AP whose score reaches the spec's
+    ``hot_threshold`` is simulated exactly, the rest are serviced by the
+    analytic superposition model.  ``params`` may be a full
+    :class:`DcfParameters` or just a station count.
+
+    Properties (pinned by the unit tests): the score is monotone in the
+    station count and in the offered load, equals ``p`` at zero load,
+    saturates at 1.0 once the cell is air-time oversubscribed, and never
+    leaves ``[0, 1]``.
+    """
+    if isinstance(params, DcfParameters):
+        dcf = params
+    else:
+        dcf = DcfParameters(n_stations=ensure_int("n_stations", params, minimum=1))
+    p = DcfModel(dcf).solve().failure_probability
+    if offered_load is None:
+        return float(p)
+    try:
+        rho = float(offered_load)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError("offered_load must be a number") from exc
+    if not math.isfinite(rho) or rho < 0.0:
+        raise ConfigurationError("offered_load must be finite and >= 0")
+    return float(1.0 - (1.0 - p) * (1.0 - min(1.0, rho)))

@@ -1,0 +1,183 @@
+"""Analytic Gaussian/heavy-tail superposition model for cold access points.
+
+At large time scales the superposition of many independent, lightly loaded
+traffic sources converges to a Gaussian process — and, when the individual
+sources are heavy-tailed, to a heavy-tailed limit (see PAPERS.md, "On the
+superposition of heterogeneous traffic at large time scales").  The fleet
+layer's hybrid tier (:mod:`repro.fleet.hybrid`) leans on exactly this limit:
+for a *cold* AP — one whose Bianchi saturation score stays below the spec's
+``hot_threshold`` — the per-slot air-time demand is a thin superposition of
+``m`` on/off sources, and the exact per-command Lindley backlog can be
+replaced by closed-form delay statistics without changing the service-level
+picture.
+
+The model
+---------
+
+Each of the ``m`` co-scheduled sessions on the AP independently delivers a
+command in a given slot with probability ``q`` (its channel's delivery
+probability) and then occupies the AP for ``service_ms`` of air time.  The
+per-slot aggregate work is therefore ``service_ms * Binomial(m, q)``:
+
+* mean work ``m q s`` and standard deviation ``s * sqrt(m q (1 - q))`` —
+  the Gaussian limit of the superposition;
+* the stationary mean backlog of the slotted Lindley recursion under the
+  diffusion (heavy-traffic) approximation,
+  ``E[B] = Var[work] / (2 (period - E[work]))``, finite only while the AP
+  is stable (``E[work] < period``);
+* the expected in-slot service rank wait ``q (m - 1) s / 2`` (a delivered
+  command queues behind every co-delivered peer with lower rank, each
+  equally likely to precede it).
+
+:meth:`SuperpositionModel.sample_extra_delays` draws per-session *extra*
+queueing delays around :meth:`SuperpositionModel.mean_extra_delay_ms` —
+Gaussian for the classic limit, Pareto-shaped for the heavy-tailed one —
+through a caller-supplied generator in one fixed-size block, preserving the
+spec-derived block-ordered RNG discipline the engines rely on for
+determinism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: Tail families understood by the superposition model.
+TAIL_KINDS: tuple[str, ...] = ("gaussian", "heavy")
+
+#: One-line summary per tail kind (rendered into the docs reference).
+TAIL_KIND_SUMMARIES: dict[str, str] = {
+    "gaussian": "Gaussian superposition limit (light-tailed extra delay)",
+    "heavy": "Pareto-shaped heavy-tail limit (same mean, fat upper tail)",
+}
+
+
+@dataclass(frozen=True)
+class SuperpositionModel:
+    """Aggregate air-time demand of one lightly loaded (cold) AP.
+
+    Attributes
+    ----------
+    sessions:
+        Number ``m`` of co-scheduled sessions contending for the AP.
+    delivery_probability:
+        Per-slot probability ``q`` that one session's command survives its
+        own channel and reaches the AP.
+    service_ms:
+        Air time one delivered command occupies the AP for, in ms.
+    period_ms:
+        Air-time budget per command slot (the template's command period).
+    tail:
+        ``"gaussian"`` or ``"heavy"`` (see :data:`TAIL_KINDS`).
+    tail_index:
+        Pareto shape ``alpha > 1`` of the heavy tail; larger is thinner
+        (ignored by the Gaussian tail).
+    """
+
+    sessions: int
+    delivery_probability: float
+    service_ms: float
+    period_ms: float
+    tail: str = "gaussian"
+    tail_index: float = 3.0
+
+    def __post_init__(self) -> None:
+        try:
+            sessions = int(self.sessions)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError("sessions must be an integer") from exc
+        if sessions < 1:
+            raise ConfigurationError("a superposition needs at least one session")
+        q = float(self.delivery_probability)
+        if not 0.0 <= q <= 1.0 or not math.isfinite(q):
+            raise ConfigurationError("delivery_probability must be in [0, 1]")
+        if not float(self.service_ms) > 0.0:
+            raise ConfigurationError("service_ms must be > 0")
+        if not float(self.period_ms) > 0.0:
+            raise ConfigurationError("period_ms must be > 0")
+        if self.tail not in TAIL_KINDS:
+            raise ConfigurationError(
+                f"unknown tail kind {self.tail!r}; available: {sorted(TAIL_KINDS)}"
+            )
+        if not float(self.tail_index) > 1.0:
+            raise ConfigurationError("tail_index must be > 1 (finite-mean Pareto)")
+
+    # ------------------------------------------------------------- moments
+    @property
+    def mean_work_ms(self) -> float:
+        """Expected per-slot aggregate work ``m q s`` in ms."""
+        return self.sessions * self.delivery_probability * self.service_ms
+
+    @property
+    def work_std_ms(self) -> float:
+        """Per-slot work standard deviation ``s sqrt(m q (1-q))`` in ms."""
+        q = self.delivery_probability
+        return self.service_ms * math.sqrt(self.sessions * q * (1.0 - q))
+
+    @property
+    def utilization(self) -> float:
+        """Mean air-time utilisation of the AP, capped at 1."""
+        return min(1.0, self.mean_work_ms / self.period_ms)
+
+    @property
+    def is_stable(self) -> bool:
+        """True while the mean demand stays below the per-slot budget."""
+        return self.mean_work_ms < self.period_ms
+
+    def mean_backlog_ms(self) -> float:
+        """Stationary mean backlog under the heavy-traffic diffusion limit.
+
+        ``Var[work] / (2 (period - E[work]))`` for a stable AP, ``inf``
+        otherwise — an unstable AP's backlog grows without bound, which is
+        precisely why such APs must be simulated exactly (classified hot).
+        """
+        if not self.is_stable:
+            return float("inf")
+        variance = self.work_std_ms**2
+        if variance == 0.0:
+            return 0.0
+        return variance / (2.0 * (self.period_ms - self.mean_work_ms))
+
+    def mean_rank_wait_ms(self) -> float:
+        """Expected in-slot wait behind co-delivered peers, in ms."""
+        return 0.5 * self.delivery_probability * (self.sessions - 1) * self.service_ms
+
+    def mean_extra_delay_ms(self) -> float:
+        """Expected extra queueing delay per delivered command, in ms."""
+        return self.mean_backlog_ms() + self.mean_rank_wait_ms()
+
+    # ------------------------------------------------------------- sampling
+    def sample_extra_delays(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Per-session mean extra delays (ms) for ``count`` sessions.
+
+        Exactly one fixed-size block of draws is consumed from ``rng`` per
+        call (``count`` normals or ``count`` Pareto variates), so callers
+        iterating APs in a spec-derived order get bit-identical results
+        regardless of worker count or scheduling.  Both tails have mean
+        :meth:`mean_extra_delay_ms`; the heavy tail redistributes mass into
+        a Pareto upper tail.  Draws are clipped at zero (backlog and rank
+        waits are nonnegative).
+        """
+        count = int(count)
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        mean = self.mean_extra_delay_ms()
+        if count == 0:
+            return np.zeros(0)
+        if not math.isfinite(mean):
+            return np.full(count, np.inf)
+        if self.tail == "heavy":
+            alpha = float(self.tail_index)
+            # numpy's pareto samples X-1 for Lomax X with E = 1/(alpha-1);
+            # rescale so the draw has mean `mean` exactly.
+            draws = rng.pareto(alpha, size=count) * (alpha - 1.0) * mean
+            return np.maximum(draws, 0.0)
+        # Gaussian limit: the per-session average over the superposed slots
+        # concentrates; spread the per-slot work deviation across sessions.
+        spread = self.work_std_ms / math.sqrt(self.sessions)
+        draws = mean + spread * rng.standard_normal(count)
+        return np.maximum(draws, 0.0)

@@ -145,3 +145,77 @@ class TestRegistry:
         assert get_fleet("test-register-fleet").operators == 2
         register_fleet(spec.with_(operators=3), "temporary", overwrite=True)
         assert get_fleet("test-register-fleet").operators == 3
+
+
+class TestTierKnobs:
+    """Hybrid-tier spec knobs: validation, identity, workload sharing."""
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"tier": "warm"},
+            {"hot_threshold": 0.0},
+            {"hot_threshold": -0.2},
+            {"hot_threshold": 1.5},
+            {"hot_threshold": float("nan")},
+            {"cold_tail": "bimodal"},
+            {"cold_tail_index": 1.0},
+            {"cold_tail_index": "fat"},
+        ],
+    )
+    def test_invalid_tier_knobs_raise(self, changes):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(**changes)
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"operators": "x"},
+            {"operators": None},
+            {"ap_capacity": "zero"},
+            {"aps": 2.5},
+            {"ap_service_ms": "slow"},
+        ],
+    )
+    def test_type_confusion_raises_configuration_error(self, changes):
+        """Bad types surface as ConfigurationError, never bare ValueError."""
+        with pytest.raises(ConfigurationError):
+            FleetSpec(**changes)
+
+    def test_boundary_threshold_is_accepted(self):
+        assert FleetSpec(tier="hybrid", hot_threshold=1.0).hot_threshold == 1.0
+        assert FleetSpec(hot_threshold=1e-9).hot_threshold == 1e-9
+
+    def test_tier_knobs_change_the_spec_hash(self):
+        base = FleetSpec()
+        assert base.spec_hash() != base.with_(tier="hybrid").spec_hash()
+        hybrid = base.with_(tier="hybrid")
+        assert hybrid.spec_hash() != hybrid.with_(hot_threshold=0.9).spec_hash()
+        assert hybrid.spec_hash() != hybrid.with_(cold_tail="heavy").spec_hash()
+        assert hybrid.spec_hash() != hybrid.with_(cold_tail_index=2.0).spec_hash()
+
+    def test_workload_identity_excludes_the_tier(self):
+        base = FleetSpec(operators=8, arrival="poisson", arrival_rate_hz=0.5)
+        hybrid = base.with_(tier="hybrid", hot_threshold=0.9, cold_tail="heavy")
+        assert base.workload_identity() == hybrid.workload_identity()
+        assert base.workload_identity() != base.with_(operators=9).workload_identity()
+
+    def test_tier_twins_share_arrival_times(self):
+        """Hybrid and exact twins see the same operators arriving."""
+        base = FleetSpec(operators=8, arrival="poisson", arrival_rate_hz=0.5)
+        hybrid = base.with_(tier="hybrid")
+        assert arrival_seed(base, 0) == arrival_seed(hybrid, 0)
+        assert np.array_equal(sample_arrival_times(base, 1), sample_arrival_times(hybrid, 1))
+
+    def test_describe_mentions_the_hybrid_tier(self):
+        text = FleetSpec(tier="hybrid", hot_threshold=0.6, cold_tail="heavy").describe()
+        assert "hybrid" in text
+        assert "heavy" in text
+        assert "hybrid" not in FleetSpec().describe()
+
+    def test_city_scale_preset_is_hybrid(self):
+        fleet = get_fleet("city-scale")
+        assert fleet.tier == "hybrid"
+        assert fleet.operators >= 1000
+        assert fleet.cold_tail == "heavy"
+        assert "city-scale" in fleet_names()

@@ -7,7 +7,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
-from repro.wireless.bianchi import DcfModel, DcfParameters, InterferenceSource
+from repro.wireless.bianchi import (
+    DcfModel,
+    DcfParameters,
+    InterferenceSource,
+    saturation_score,
+)
 
 
 def test_interference_source_occupancy():
@@ -94,3 +99,70 @@ def test_fixed_point_solution_always_valid(n, prob, duration):
     assert 0.0 < solution.tau <= 1.0
     assert solution.mean_slot_time_us > 0.0
     assert 0.0 <= solution.success_probability <= 1.0
+
+
+class TestSaturationScore:
+    """The hybrid tier's hot/cold classifier (see repro.fleet.hybrid)."""
+
+    #: Known DCF parameter sets for the scipy oracle: (n_stations, cw_min, m).
+    ORACLE_SETS = [(2, 16, 3), (5, 16, 5), (10, 32, 5), (25, 16, 6)]
+
+    @pytest.mark.parametrize("n,cw_min,stage", ORACLE_SETS)
+    def test_pins_the_fsolve_fixed_point(self, n, cw_min, stage):
+        """Bare score == p from scipy.fsolve on Bianchi's two-equation system.
+
+        The oracle solves the classic (interference-free) system directly,
+
+            p   = 1 - (1 - tau)^(n-1)
+            tau = 2 / (1 + W0 + p W0 sum_{i<m} (2p)^i)
+
+        independently of the bisection solver in DcfModel.
+        """
+        fsolve = pytest.importorskip("scipy.optimize").fsolve
+
+        def equations(variables):
+            p, tau = variables
+            window = 1 + cw_min + p * cw_min * sum((2 * p) ** i for i in range(stage))
+            return (p - (1 - (1 - tau) ** (n - 1)), tau - 2 / window)
+
+        p_oracle, tau_oracle = fsolve(equations, (0.5, 0.5), full_output=False)
+        params = DcfParameters(n_stations=n, cw_min=cw_min, max_backoff_stage=stage)
+        assert saturation_score(params) == pytest.approx(p_oracle, abs=1e-6)
+        assert DcfModel(params).solve().tau == pytest.approx(tau_oracle, abs=1e-6)
+
+    def test_bare_score_is_the_fixed_point_p(self):
+        params = DcfParameters(n_stations=8)
+        assert saturation_score(params) == DcfModel(params).solve().failure_probability
+
+    def test_station_count_shorthand(self):
+        assert saturation_score(8) == saturation_score(DcfParameters(n_stations=8))
+
+    def test_monotone_in_stations_and_load(self):
+        scores = [saturation_score(n, offered_load=0.3) for n in (1, 2, 5, 15, 30)]
+        assert scores == sorted(scores)
+        loads = [saturation_score(5, offered_load=rho) for rho in (0.0, 0.25, 0.5, 0.9, 1.0)]
+        assert loads == sorted(loads)
+
+    def test_zero_load_equals_bare_score(self):
+        assert saturation_score(5, offered_load=0.0) == saturation_score(5)
+
+    def test_oversubscribed_cell_saturates_at_one(self):
+        assert saturation_score(5, offered_load=1.0) == 1.0
+        assert saturation_score(5, offered_load=2.5) == 1.0
+
+    def test_single_idle_station_is_cold(self):
+        assert saturation_score(1, offered_load=0.0) == pytest.approx(0.0, abs=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 40), rho=st.floats(0.0, 3.0))
+    def test_score_stays_in_unit_interval(self, n, rho):
+        assert 0.0 <= saturation_score(n, offered_load=rho) <= 1.0
+
+    @pytest.mark.parametrize("bad", ["high", float("nan"), float("inf"), -0.1])
+    def test_invalid_offered_load_raises(self, bad):
+        with pytest.raises(ConfigurationError):
+            saturation_score(5, offered_load=bad)
+
+    def test_invalid_station_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            saturation_score(0)

@@ -1,0 +1,120 @@
+"""Tests for the analytic cold-AP superposition delay model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wireless import TAIL_KIND_SUMMARIES, TAIL_KINDS, SuperpositionModel
+
+
+def _model(**changes) -> SuperpositionModel:
+    base = dict(
+        sessions=6,
+        delivery_probability=0.8,
+        service_ms=2.0,
+        period_ms=20.0,
+    )
+    base.update(changes)
+    return SuperpositionModel(**base)
+
+
+class TestMoments:
+    def test_mean_and_std_follow_the_binomial(self):
+        model = _model()
+        assert model.mean_work_ms == pytest.approx(6 * 0.8 * 2.0)
+        assert model.work_std_ms == pytest.approx(2.0 * np.sqrt(6 * 0.8 * 0.2))
+
+    def test_rank_wait_is_half_the_expected_peers(self):
+        assert _model().mean_rank_wait_ms() == pytest.approx(0.5 * 0.8 * 5 * 2.0)
+        assert _model(sessions=1).mean_rank_wait_ms() == 0.0
+
+    def test_backlog_is_the_diffusion_limit(self):
+        model = _model()
+        expected = model.work_std_ms**2 / (2 * (20.0 - model.mean_work_ms))
+        assert model.mean_backlog_ms() == pytest.approx(expected)
+        assert model.mean_extra_delay_ms() == pytest.approx(
+            model.mean_backlog_ms() + model.mean_rank_wait_ms()
+        )
+
+    def test_deterministic_delivery_has_zero_variance(self):
+        model = _model(delivery_probability=1.0)
+        assert model.work_std_ms == 0.0
+        assert model.mean_backlog_ms() == 0.0
+
+    def test_zero_delivery_is_idle(self):
+        model = _model(delivery_probability=0.0)
+        assert model.mean_work_ms == 0.0
+        assert model.utilization == 0.0
+        assert model.mean_extra_delay_ms() == 0.0
+
+
+class TestStability:
+    def test_under_budget_is_stable(self):
+        model = _model()  # 9.6 ms demand vs 20 ms budget
+        assert model.is_stable
+        assert model.utilization == pytest.approx(9.6 / 20.0)
+        assert np.isfinite(model.mean_backlog_ms())
+
+    def test_oversubscribed_backlog_diverges(self):
+        model = _model(sessions=16)  # 25.6 ms demand vs 20 ms budget
+        assert not model.is_stable
+        assert model.utilization == 1.0
+        assert model.mean_backlog_ms() == np.inf
+        draws = model.sample_extra_delays(np.random.default_rng(0), 5)
+        assert np.all(np.isinf(draws))
+
+
+class TestSampling:
+    def test_same_seed_same_block(self):
+        model = _model(tail="heavy")
+        a = model.sample_extra_delays(np.random.default_rng(7), 100)
+        b = model.sample_extra_delays(np.random.default_rng(7), 100)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("tail", TAIL_KINDS)
+    def test_draws_are_nonnegative_with_the_model_mean(self, tail):
+        model = _model(tail=tail)
+        draws = model.sample_extra_delays(np.random.default_rng(3), 40_000)
+        assert np.all(draws >= 0.0)
+        assert np.mean(draws) == pytest.approx(model.mean_extra_delay_ms(), rel=0.05)
+
+    def test_heavy_tail_is_fatter_than_gaussian(self):
+        rng = np.random.default_rng(11)
+        gauss = _model(tail="gaussian").sample_extra_delays(rng, 40_000)
+        heavy = _model(tail="heavy", tail_index=2.0).sample_extra_delays(
+            np.random.default_rng(11), 40_000
+        )
+        assert np.percentile(heavy, 99.9) > np.percentile(gauss, 99.9)
+
+    def test_zero_count_is_an_empty_block(self):
+        draws = _model().sample_extra_delays(np.random.default_rng(0), 0)
+        assert draws.shape == (0,)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            _model().sample_extra_delays(np.random.default_rng(0), -1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"sessions": 0},
+            {"sessions": "many"},
+            {"delivery_probability": -0.1},
+            {"delivery_probability": 1.5},
+            {"delivery_probability": float("nan")},
+            {"service_ms": 0.0},
+            {"period_ms": 0.0},
+            {"tail": "bimodal"},
+            {"tail_index": 1.0},
+        ],
+    )
+    def test_invalid_fields_raise(self, changes):
+        with pytest.raises(ConfigurationError):
+            _model(**changes)
+
+    def test_tail_kinds_are_documented(self):
+        assert set(TAIL_KIND_SUMMARIES) == set(TAIL_KINDS)
