@@ -63,12 +63,28 @@ def _preset_table() -> list[str]:
         "| --- | --- | --- | --- | --- |",
     ]
     for name, description in scenario_catalog().items():
+        if name.startswith("adversarial-"):
+            continue  # rendered in their own provenance table
         spec = get_scenario(name)
         channel = spec.channel.describe().replace("|", "\\|")
         lines.append(
             f"| `{name}` | `{channel}` | {spec.operator} | "
             f"{'yes' if spec.use_pid else 'no'} | {description} |"
         )
+    return lines
+
+
+def _adversarial_table() -> list[str]:
+    lines = [
+        "| Preset | Spec hash | Channel | Provenance |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name, description in scenario_catalog().items():
+        if not name.startswith("adversarial-"):
+            continue
+        spec = get_scenario(name)
+        channel = spec.channel.describe().replace("|", "\\|")
+        lines.append(f"| `{name}` | `{spec.spec_hash()}` | `{channel}` | {description} |")
     return lines
 
 
@@ -228,6 +244,15 @@ def render() -> str:
     parts.append("every stage, delays add up, and it is lost if any stage loses it.")
     parts.append("Per-stage RNG seeds are hash-derived from the stage's *content*, so")
     parts.append("reordering stages never changes the realisations or the loss set.\n")
+    parts.append("## Adversarial presets (search-discovered)\n")
+    parts.extend(_adversarial_table())
+    parts.append("\nWorst cases found by the coverage-guided scenario search")
+    parts.append("(`repro.scenarios.search`, CLI: `foreco-experiments search --budget N")
+    parts.append("[--promote]`) and pinned in the registry as standing regression")
+    parts.append("presets.  The name carries the spec-hash prefix of the discovered")
+    parts.append("point; knob values are frozen at full precision so the hash — and any")
+    parts.append("memoized store entry — stays stable.  Workflow and tolerances:")
+    parts.append("[Validation](validation.md).\n")
     parts.append("## Channel kinds\n")
     parts.extend(_channel_kind_table())
     parts.append("\nEvery kind samples through `sample_channel_delays` (serial, one")

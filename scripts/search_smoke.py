@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""CI smoke test for the coverage-guided scenario search, end to end.
+
+Runs a 10-candidate search twice through the real CLI code path
+(:func:`repro.experiments.runner.run_experiments` with the ``search``
+keyword) against a temporary store and asserts the memoization contract on
+a clean checkout:
+
+* the first pass computes every probe (0 hits, 10 misses) and persists it;
+* the second pass is **100% store hits** — nothing recomputed — and
+  returns probe-for-probe identical scores in the same order.
+
+Exit code 0 on success, 1 with a diagnostic on any violated expectation.
+Run it from an environment where ``repro`` is importable (CI installs the
+package; locally ``PYTHONPATH=src python scripts/search_smoke.py`` works).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+
+from repro.experiments.runner import run_experiments
+
+BUDGET = 10
+SEED = 11
+
+
+def _search(store: str, resume: bool) -> dict:
+    report = run_experiments(
+        ["search"], scale="ci", seed=SEED, jobs=2, fmt="json",
+        budget=BUDGET, store=store, resume=resume,
+    )
+    return json.loads(report)["search"]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="foreco-search-smoke-") as root:
+        first = _search(root, resume=False)
+        second = _search(root, resume=True)
+
+    failures = []
+    if first["evaluated"] != BUDGET:
+        failures.append(f"cold pass evaluated {first['evaluated']} probes, expected {BUDGET}")
+    if (first["store_hits"], first["store_misses"]) != (0, BUDGET):
+        failures.append(
+            f"cold pass expected 0/{BUDGET} hits/misses, got "
+            f"{first['store_hits']}/{first['store_misses']}"
+        )
+    if (second["store_hits"], second["store_misses"]) != (BUDGET, 0):
+        failures.append(
+            f"warm pass expected 100% hits, got "
+            f"{second['store_hits']}/{second['store_misses']}"
+        )
+    if first["probes"] != second["probes"]:
+        failures.append("warm probes differ from the cold pass (determinism broken)")
+
+    if failures:
+        for failure in failures:
+            print(f"search smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"search smoke ok: {BUDGET} probes computed once, second pass "
+        f"{second['store_hits']}/{BUDGET} hits (100% reused), probes identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

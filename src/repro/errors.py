@@ -39,3 +39,7 @@ class ChannelError(ReproError):
 
 class RobotError(ReproError):
     """The robot model was driven outside its operational envelope."""
+
+
+class ValidationError(ReproError):
+    """An analytic-oracle tolerance gate failed (simulation vs theory)."""

@@ -32,6 +32,15 @@ exist and be non-empty, guarding against a mistyped path silently
 recomputing a whole grid from scratch.  (The figure/table experiments run
 their own pipelines and are not stored.)
 
+The ``search`` keyword runs the budgeted coverage-guided scenario search
+(:mod:`repro.scenarios.search`) over the combinator grammar: ``--budget N``
+sets the number of candidate evaluations, ``--promote`` registers the
+top-discovered worst cases as ``adversarial-*`` presets for the rest of the
+invocation (they then run like any preset via ``--scenario all``), and
+``--store``/``--resume``/``--jobs``/``--backend`` memoize and parallelise
+the probes exactly like scenario sweeps — a warm rerun against the same
+store recomputes nothing.
+
 The ``fleet`` keyword runs every fleet preset from
 :mod:`repro.fleet.registry` — multi-operator service workloads with shared
 access points, admission control and arrival processes (see
@@ -87,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=[],
         help="experiments to run: " + ", ".join(sorted(EXPERIMENTS)) + ", 'all', "
-        "or 'fleet' (every fleet preset)",
+        "'fleet' (every fleet preset), or 'search' (coverage-guided scenario search)",
     )
     parser.add_argument("--scale", default="ci", choices=["ci", "standard", "full"],
                         help="experiment scale (default: ci)")
@@ -115,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "'exact' forces the vectorized Lindley path, 'hybrid' the "
                         "city-scale exact/analytic tier (default: each preset's own "
                         "tier; see docs/fleet.md 'City scale')")
+    parser.add_argument("--budget", type=int, default=16, metavar="N",
+                        help="candidate evaluations for the 'search' keyword "
+                        "(default: 16)")
+    parser.add_argument("--promote", action="store_true",
+                        help="register the search's top discoveries as "
+                        "'adversarial-*' presets (requires the 'search' keyword)")
     parser.add_argument("--format", dest="fmt", default="text", choices=["text", "json"],
                         help="report format (default: text)")
     parser.add_argument("--output", default=None, help="also write the report to this file")
@@ -154,27 +169,51 @@ def run_experiments(
     resume: bool = False,
     fleet: int | None = None,
     fleet_tier: str | None = None,
+    budget: int = 16,
+    promote: bool = False,
 ) -> str:
-    """Run the selected experiments/scenarios/fleets and return the report."""
+    """Run the selected experiments/scenarios/fleets/searches and return the report."""
     names = list(names)
     fleet_requested = fleet is not None or "fleet" in names
-    names = [name for name in names if name != "fleet"]
+    search_requested = "search" in names
+    names = [name for name in names if name not in ("fleet", "search")]
     if any(name == "all" for name in names):
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
         raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+    if fleet_tier is not None and not fleet_requested:
+        raise SystemExit(
+            "--fleet-tier only applies to fleet runs: add the 'fleet' keyword or --fleet N"
+        )
+    if promote and not search_requested:
+        raise SystemExit("--promote only applies to the 'search' keyword")
     scenarios = list(scenarios or [])
-    if any(name == "all" for name in scenarios):
-        scenarios = scenario_names()
-    if not names and not scenarios and not fleet_requested:
-        raise SystemExit("nothing to run: pass experiment names, 'fleet' and/or --scenario")
+    if not names and not scenarios and not fleet_requested and not search_requested:
+        raise SystemExit(
+            "nothing to run: pass experiment names, 'fleet', 'search' and/or --scenario"
+        )
     result_store = _open_store(store, resume)
 
     results = {name: EXPERIMENTS[name](scale=scale, seed=seed, jobs=jobs) for name in names}
-    # One executor serves both sweeps, so fleet presets whose templates the
-    # scenario sweep already ran reuse its dataset/forecaster caches.
+    # One executor serves every sweep-shaped run (scenario presets, fleet
+    # presets, search probes), so they share dataset/forecaster caches.
     executor = SweepExecutor(jobs=jobs, backend=backend, store=result_store)
+    search_result = None
+    if search_requested:
+        from ..scenarios.search import ScenarioSearch, SearchConfig  # deferred: keeps import light
+
+        try:
+            config = SearchConfig(budget=budget, seed=seed)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from exc
+        search_result = ScenarioSearch(config=config, executor=executor).run()
+        if promote:
+            search_result.promote()
+    if any(name == "all" for name in scenarios):
+        # Expanded after a possible --promote, so 'all' includes presets the
+        # search registered moments ago.
+        scenarios = scenario_names()
     sweep = None
     if scenarios:
         try:
@@ -204,6 +243,8 @@ def run_experiments(
             "seed": seed,
             "experiments": {name: result.to_dict() for name, result in results.items()},
         }
+        if search_result is not None:
+            document["search"] = search_result.to_dict()
         if sweep is not None:
             document["scenarios"] = sweep.to_records()
         if fleet_sweep is not None:
@@ -233,6 +274,10 @@ def run_experiments(
     sections = []
     for result in results.values():
         sections.append(result.to_text())
+        sections.append("")
+    if search_result is not None:
+        sections.append("# scenario search")
+        sections.append(search_result.to_text())
         sections.append("")
     if sweep is not None:
         catalog = scenario_catalog()
@@ -296,6 +341,8 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         fleet=args.fleet,
         fleet_tier=args.fleet_tier,
+        budget=args.budget,
+        promote=args.promote,
     )
     sys.stdout.write(report)
     if args.output:

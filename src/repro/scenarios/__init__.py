@@ -20,7 +20,12 @@ and the ``foreco-experiments`` CLI all describe work as
   threads and returns a uniform :class:`SweepResult` table;
 * :mod:`repro.scenarios.store` — persistent, content-addressed
   :class:`ResultStore` (spec hash + :data:`ENGINE_EPOCH`) making sweeps
-  resumable: executors compute only the specs missing from the store.
+  resumable: executors compute only the specs missing from the store;
+* :mod:`repro.scenarios.grammar` — bounded combinator grammar enumerating
+  and mutating channel/FoReCo knobs into frozen candidate specs;
+* :mod:`repro.scenarios.search` — budgeted coverage-guided search scoring
+  candidates by worst-case recovery and promoting the top discoveries to
+  named ``adversarial-*`` presets.
 """
 
 from .engine import (
@@ -34,11 +39,21 @@ from .engine import (
     sample_channel_delays,
     sample_channel_delays_batch,
 )
+from .grammar import Knob, ScenarioGrammar
 from .registry import (
     get_scenario,
     register_scenario,
     scenario_catalog,
     scenario_names,
+)
+from .search import (
+    ScenarioSearch,
+    SearchConfig,
+    SearchProbe,
+    SearchResult,
+    adversarial_score,
+    p99_recovery,
+    run_search,
 )
 from .spec import (
     CHANNEL_KIND_SUMMARIES,
@@ -73,14 +88,21 @@ __all__ = [
     "ChannelSpec",
     "ExperimentScale",
     "ForecoSpec",
+    "Knob",
     "ResultStore",
+    "ScenarioGrammar",
+    "ScenarioSearch",
     "ScenarioSpec",
+    "SearchConfig",
+    "SearchProbe",
+    "SearchResult",
     "SessionEngine",
     "SessionResult",
     "SharedDatasets",
     "StoreStats",
     "SweepExecutor",
     "SweepResult",
+    "adversarial_score",
     "build_datasets",
     "clean_channel",
     "compound_channel",
@@ -92,10 +114,12 @@ __all__ = [
     "jammer_channel",
     "loss_burst_channel",
     "markov_interference_channel",
+    "p99_recovery",
     "periodic_loss_channel",
     "random_loss_channel",
     "register_scenario",
     "repetition_seed",
+    "run_search",
     "sample_channel_delays",
     "sample_channel_delays_batch",
     "scale_names",

@@ -32,6 +32,12 @@ conditions plus harsher combinations used by the scaling roadmap:
 ``trace-replay``
     Replay of a recorded delay/loss trace (a congestion ramp with outages),
     cycled with per-repetition phase offsets — the bridge to real captures.
+``adversarial-compound-3a9fdc`` / ``adversarial-jammer-391374``
+    Worst cases discovered by the coverage-guided scenario search
+    (:func:`repro.scenarios.search.run_search`) and pinned here as standing
+    regression presets.  Their names carry the spec-hash prefix of the
+    discovered spec; the knob values are frozen at full precision so the
+    hash — and therefore any memoized store entry — stays stable.
 
 Use :func:`register_scenario` to add project-specific presets.
 """
@@ -154,6 +160,41 @@ def _register_builtins() -> None:
     register_scenario(
         ScenarioSpec(name="trace-replay", channel=trace_channel(_recorded_congestion_trace())),
         "replayed delay/loss recording (congestion ramp + outage), phase-cycled",
+    )
+    # Search-discovered adversarial presets.  Found by
+    # ``run_search(budget=48, seed=7)`` over the default grammar; the knob
+    # values (including the long floats) are the exact discovered points and
+    # must not be rounded, or the spec hash in the name goes stale.
+    register_scenario(
+        ScenarioSpec(
+            name="adversarial-compound-3a9fdc",
+            channel=compound_channel(
+                wireless_channel(n_robots=30, probability=0.06, duration_slots=120),
+                jammer_channel(
+                    p_good_to_jammed=0.1,
+                    p_jammed_to_good=0.08,
+                    delay_jammed_ms=75.47672538652341,
+                ),
+            ),
+            repetitions=3,
+            run_seconds=6.0,
+        ),
+        "search-discovered worst case (score 0.785, seed 7, budget 48): "
+        "saturated AP under a sticky jammer",
+    )
+    register_scenario(
+        ScenarioSpec(
+            name="adversarial-jammer-391374",
+            channel=jammer_channel(
+                p_good_to_jammed=0.05396049843027815,
+                p_jammed_to_good=0.03,
+                delay_jammed_ms=80.0,
+            ),
+            repetitions=3,
+            run_seconds=6.0,
+        ),
+        "search-discovered worst case (score 0.674, seed 7, budget 48): "
+        "slow-recovery deep jammer",
     )
 
 

@@ -1,0 +1,33 @@
+"""Standing analytic-oracle validation of the simulators against theory.
+
+The simulators in :mod:`repro.wireless` and :mod:`repro.fleet` implement
+models the paper also solves in closed form: the Bianchi DCF saturation
+analysis behind the contention service distribution, and the Gaussian /
+heavy-tailed superposition limit behind the hybrid tier's cold-AP path.
+This package turns those closed forms into *oracles*: each oracle runs the
+simulated side at matching parameters and compares moments, tail quantiles
+and loss/count invariants through :class:`ToleranceGate` objects with
+documented statistical bounds, collected into an :class:`OracleReport`.
+
+The oracles run as a standing test suite (``tests/validation/``), and each
+exposes a perturbation knob the mutation-style tests use to prove the
+gates bite.  See ``docs/validation.md`` for the workflow and the tolerance
+rationale.
+"""
+
+from .gates import OracleReport, ToleranceGate
+from .oracles import (
+    bianchi_oracle,
+    cold_fleet_oracle,
+    run_validation,
+    superposition_oracle,
+)
+
+__all__ = [
+    "OracleReport",
+    "ToleranceGate",
+    "bianchi_oracle",
+    "cold_fleet_oracle",
+    "run_validation",
+    "superposition_oracle",
+]

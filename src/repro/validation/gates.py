@@ -1,0 +1,171 @@
+"""Statistical tolerance gates for the analytic-oracle validation suite.
+
+An oracle compares a *simulated* statistic (a moment, a tail quantile, a
+loss rate) against its *closed-form* analytic counterpart at matching
+parameters.  Each comparison is a :class:`ToleranceGate` — observed value,
+expected value, and documented relative/absolute tolerance — and one oracle
+run collects its gates into an :class:`OracleReport` with uniform
+text/JSON renderings and a typed failure
+(:class:`~repro.errors.ValidationError`) for callers that want an
+exception instead of a boolean.
+
+The tolerances are *documented bounds*, not fudge factors: every oracle in
+:mod:`repro.validation.oracles` states in its docstring where its slack
+comes from (sampling error at the configured draw count, or a model term
+the closed form deliberately ignores, like residual queueing behind
+hyper-exponential service tails).  The mutation-style tests in
+``tests/validation/`` verify the gates are real by perturbing the simulated
+side and asserting the oracle fails.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, ValidationError
+
+
+@dataclass(frozen=True)
+class ToleranceGate:
+    """One observed-vs-expected comparison with a documented tolerance.
+
+    Attributes
+    ----------
+    name:
+        What is being compared (e.g. ``"mean delivered delay"``).
+    observed:
+        The simulated/empirical value.
+    expected:
+        The closed-form analytic value.
+    rel_tol:
+        Relative tolerance on ``expected`` (``None`` to rely on ``abs_tol``
+        alone).
+    abs_tol:
+        Absolute tolerance (``None`` to rely on ``rel_tol`` alone).
+
+    The gate passes when ``|observed - expected|`` is within the larger of
+    the two tolerance margins; at least one tolerance must be given.
+    """
+
+    name: str
+    observed: float
+    expected: float
+    rel_tol: float | None = None
+    abs_tol: float | None = None
+
+    def __post_init__(self) -> None:
+        """Validate the tolerance configuration (never the comparison itself)."""
+        if self.rel_tol is None and self.abs_tol is None:
+            raise ConfigurationError(f"gate {self.name!r} needs rel_tol and/or abs_tol")
+        for label, tol in (("rel_tol", self.rel_tol), ("abs_tol", self.abs_tol)):
+            if tol is not None and (not math.isfinite(float(tol)) or float(tol) < 0.0):
+                raise ConfigurationError(f"gate {self.name!r}: {label} must be finite and >= 0")
+
+    @property
+    def margin(self) -> float:
+        """The allowed deviation: ``max(abs_tol, rel_tol * |expected|)``."""
+        margins = []
+        if self.abs_tol is not None:
+            margins.append(float(self.abs_tol))
+        if self.rel_tol is not None:
+            margins.append(float(self.rel_tol) * abs(float(self.expected)))
+        return max(margins)
+
+    @property
+    def deviation(self) -> float:
+        """``|observed - expected|`` (``inf`` when either side is non-finite)."""
+        observed = float(self.observed)
+        expected = float(self.expected)
+        if not (math.isfinite(observed) and math.isfinite(expected)):
+            return float("inf")
+        return abs(observed - expected)
+
+    @property
+    def passed(self) -> bool:
+        """True when the deviation is within the documented margin."""
+        return self.deviation <= self.margin
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering of the comparison."""
+        return {
+            "name": self.name,
+            "observed": float(self.observed),
+            "expected": float(self.expected),
+            "rel_tol": self.rel_tol,
+            "abs_tol": self.abs_tol,
+            "deviation": self.deviation if math.isfinite(self.deviation) else None,
+            "margin": self.margin,
+            "passed": self.passed,
+        }
+
+    def describe(self) -> str:
+        """One report line: verdict, values, deviation vs margin."""
+        verdict = "ok  " if self.passed else "FAIL"
+        return (
+            f"{verdict} {self.name:<34s} observed {float(self.observed):>10.4f} "
+            f"expected {float(self.expected):>10.4f} "
+            f"(|diff| {self.deviation:.4f} <= {self.margin:.4f})"
+        )
+
+
+@dataclass
+class OracleReport:
+    """All tolerance gates of one oracle run, plus its parameters.
+
+    Attributes
+    ----------
+    oracle:
+        Oracle name (``"bianchi"``, ``"superposition"``, ...).
+    params:
+        The matching parameters both sides were evaluated at (JSON-safe).
+    gates:
+        The individual comparisons, in evaluation order.
+    """
+
+    oracle: str
+    params: dict = field(default_factory=dict)
+    gates: list[ToleranceGate] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every gate passed."""
+        return all(gate.passed for gate in self.gates)
+
+    @property
+    def failures(self) -> list[ToleranceGate]:
+        """The gates that failed, in evaluation order."""
+        return [gate for gate in self.gates if not gate.passed]
+
+    def check(self) -> "OracleReport":
+        """Return ``self`` if all gates passed, else raise :class:`ValidationError`.
+
+        The exception message carries the full text report, so a failing
+        standing-suite run shows every gate, not just the first failure.
+        """
+        if not self.passed:
+            raise ValidationError(self.to_text())
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (oracle, params, every gate, verdict)."""
+        return {
+            "oracle": self.oracle,
+            "params": dict(self.params),
+            "passed": self.passed,
+            "gates": [gate.to_dict() for gate in self.gates],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON text rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_text(self) -> str:
+        """Fixed-width text report: one line per gate plus a verdict line."""
+        shown = ", ".join(f"{key}={value}" for key, value in self.params.items())
+        lines = [f"oracle {self.oracle} ({shown})"]
+        lines.extend(gate.describe() for gate in self.gates)
+        verdict = "PASSED" if self.passed else f"FAILED ({len(self.failures)} gate(s))"
+        lines.append(f"{self.oracle}: {verdict}")
+        return "\n".join(lines)

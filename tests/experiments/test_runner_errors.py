@@ -1,0 +1,81 @@
+"""Runner CLI error paths: clean one-line exits, never tracebacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import build_parser, main, run_experiments
+from repro.scenarios import SweepExecutor
+
+
+def _exit_message(excinfo) -> str:
+    return str(excinfo.value)
+
+
+def test_unknown_experiment_keyword():
+    with pytest.raises(SystemExit) as excinfo:
+        run_experiments(["bogus"], scale="ci", seed=1)
+    assert "unknown experiment" in _exit_message(excinfo)
+    assert "bogus" in _exit_message(excinfo)
+
+
+def test_unknown_scenario_name():
+    with pytest.raises(SystemExit) as excinfo:
+        run_experiments([], scale="ci", seed=1, scenarios=["not-a-preset"])
+    assert "unknown scenario" in _exit_message(excinfo)
+
+
+def test_fleet_tier_requires_a_fleet_run():
+    with pytest.raises(SystemExit) as excinfo:
+        run_experiments([], scale="ci", seed=1, scenarios=["clean"], fleet_tier="hybrid")
+    assert "--fleet-tier" in _exit_message(excinfo)
+    assert "fleet" in _exit_message(excinfo)
+
+
+def test_resume_requires_store():
+    with pytest.raises(SystemExit) as excinfo:
+        run_experiments([], scale="ci", seed=1, scenarios=["clean"], resume=True)
+    assert "--resume requires --store" in _exit_message(excinfo)
+
+
+def test_resume_refuses_empty_store(tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        run_experiments(
+            [], scale="ci", seed=1, scenarios=["clean"],
+            store=str(tmp_path / "empty"), resume=True,
+        )
+    assert "no entries" in _exit_message(excinfo)
+
+
+def test_promote_requires_search_keyword():
+    with pytest.raises(SystemExit) as excinfo:
+        run_experiments([], scale="ci", seed=1, scenarios=["clean"], promote=True)
+    assert "--promote" in _exit_message(excinfo)
+
+
+def test_malformed_search_budget():
+    with pytest.raises(SystemExit) as excinfo:
+        run_experiments(["search"], scale="ci", seed=1, budget=0)
+    assert "budget" in _exit_message(excinfo)
+
+
+def test_nothing_to_run():
+    with pytest.raises(SystemExit) as excinfo:
+        run_experiments([], scale="ci", seed=1)
+    assert "nothing to run" in _exit_message(excinfo)
+
+
+def test_malformed_executor_values_raise_configuration_error():
+    with pytest.raises(ConfigurationError) as excinfo:
+        SweepExecutor(backend="quantum")
+    assert "unknown sweep backend" in str(excinfo.value)
+
+
+def test_main_exits_cleanly_on_bad_keyword(capsys):
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+    # argparse-level misuse (bad choice values) also exits, not raises.
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--fleet-tier", "warp"])
+    capsys.readouterr()

@@ -1,0 +1,52 @@
+"""Every registered preset must run: a preset can never land unrunnable.
+
+One tiny repetition per preset — scenario presets through the session
+engine, fleet presets through the sweep executor (which routes exact and
+hybrid tiers alike).  The adversarial ``adversarial-*`` presets promoted by
+the scenario search are registered builtins, so they go through the same
+gauntlet as the hand-named ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet import fleet_names, get_fleet
+from repro.scenarios import SessionEngine, SweepExecutor, get_scenario, scenario_names
+
+#: Long enough for the harshest placement constraint among the presets
+#: (bursty-loss needs 5 bursts of 10 with gap 60 => 350 commands = 7 s).
+SMOKE_RUN_SECONDS = 10.0
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """One shared engine so presets on the same scale reuse datasets."""
+    return SessionEngine()
+
+
+def test_registry_includes_promoted_adversarial_presets():
+    names = scenario_names()
+    assert "adversarial-compound-3a9fdc" in names
+    assert "adversarial-jammer-391374" in names
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_scenario_preset_runs(engine, name):
+    spec = get_scenario(name, repetitions=1, run_seconds=SMOKE_RUN_SECONDS)
+    result = engine.run(spec)
+    assert len(result.recovery_fraction) == 1
+    assert np.isfinite(result.mean_late_fraction)
+    assert 0.0 <= float(result.mean_late_fraction) <= 1.0
+
+
+@pytest.mark.parametrize("name", fleet_names())
+def test_fleet_preset_runs(engine, name):
+    fleet = get_fleet(name, operators=6).with_template(
+        repetitions=1, run_seconds=SMOKE_RUN_SECONDS
+    )
+    executor = SweepExecutor(engine=engine)
+    row = executor.run([fleet])[0]
+    assert row.admitted >= 1
+    assert np.all(np.isfinite(np.asarray(row.completion_time_s, dtype=float)))

@@ -1,0 +1,97 @@
+"""Unit contracts of the tolerance-gate layer (no simulation involved)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.validation import OracleReport, ToleranceGate
+
+
+def test_gate_passes_within_margin():
+    gate = ToleranceGate(name="mean", observed=10.4, expected=10.0, rel_tol=0.05)
+    assert gate.margin == pytest.approx(0.5)
+    assert gate.deviation == pytest.approx(0.4)
+    assert gate.passed
+
+
+def test_gate_fails_outside_margin():
+    gate = ToleranceGate(name="mean", observed=11.0, expected=10.0, rel_tol=0.05)
+    assert not gate.passed
+
+
+def test_margin_is_max_of_relative_and_absolute():
+    gate = ToleranceGate(name="g", observed=0.0, expected=10.0, rel_tol=0.01, abs_tol=2.0)
+    assert gate.margin == pytest.approx(2.0)  # abs wins
+    gate = ToleranceGate(name="g", observed=0.0, expected=1000.0, rel_tol=0.01, abs_tol=2.0)
+    assert gate.margin == pytest.approx(10.0)  # rel wins
+
+
+def test_non_finite_observed_always_fails():
+    for bad in (math.nan, math.inf, -math.inf):
+        gate = ToleranceGate(name="g", observed=bad, expected=1.0, rel_tol=10.0)
+        assert gate.deviation == math.inf
+        assert not gate.passed
+
+
+def test_gate_rejects_missing_or_invalid_tolerances():
+    with pytest.raises(ConfigurationError):
+        ToleranceGate(name="g", observed=1.0, expected=1.0)
+    with pytest.raises(ConfigurationError):
+        ToleranceGate(name="g", observed=1.0, expected=1.0, rel_tol=-0.1)
+    with pytest.raises(ConfigurationError):
+        ToleranceGate(name="g", observed=1.0, expected=1.0, abs_tol=math.nan)
+
+
+def test_gate_to_dict_and_describe():
+    gate = ToleranceGate(name="loss rate", observed=0.2, expected=0.25, abs_tol=0.1)
+    payload = gate.to_dict()
+    assert payload["name"] == "loss rate"
+    assert payload["passed"] is True
+    assert payload["deviation"] == pytest.approx(0.05)
+    assert payload["margin"] == pytest.approx(0.1)
+    assert "ok" in gate.describe()
+    failing = ToleranceGate(name="loss rate", observed=0.9, expected=0.25, abs_tol=0.1)
+    assert "FAIL" in failing.describe()
+    assert failing.to_dict()["passed"] is False
+
+
+def _report(passing: bool) -> OracleReport:
+    gates = [
+        ToleranceGate(name="a", observed=1.0, expected=1.0, abs_tol=0.1),
+        ToleranceGate(name="b", observed=5.0 if passing else 50.0, expected=5.0, rel_tol=0.1),
+    ]
+    return OracleReport(oracle="demo", params={"seed": 1}, gates=gates)
+
+
+def test_report_passed_and_failures():
+    good = _report(passing=True)
+    assert good.passed
+    assert good.failures == []
+    bad = _report(passing=False)
+    assert not bad.passed
+    assert [gate.name for gate in bad.failures] == ["b"]
+
+
+def test_report_check_raises_with_full_text():
+    assert _report(passing=True).check().oracle == "demo"
+    with pytest.raises(ValidationError) as excinfo:
+        _report(passing=False).check()
+    message = str(excinfo.value)
+    assert "FAIL" in message and "b" in message and "demo" in message
+
+
+def test_report_renderings_round_trip():
+    report = _report(passing=False)
+    payload = json.loads(report.to_json())
+    assert payload["oracle"] == "demo"
+    assert payload["params"] == {"seed": 1}
+    assert payload["passed"] is False
+    assert len(payload["gates"]) == 2
+    text = report.to_text()
+    assert text.splitlines()[0].startswith("oracle demo")
+    assert text.splitlines()[-1].startswith("demo: FAILED")
+    assert _report(passing=True).to_text().splitlines()[-1] == "demo: PASSED"

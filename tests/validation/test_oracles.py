@@ -1,0 +1,116 @@
+"""Standing analytic-oracle suite: simulators vs closed-form theory.
+
+Each oracle runs the simulated side at parameters matching its analytic
+model and gates moments/quantiles/rates with the documented tolerances.
+The mutation-style tests at the bottom prove the gates bite: perturbing
+the simulated side through each oracle's perturbation knob must flip the
+report to failing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.validation import (
+    bianchi_oracle,
+    cold_fleet_oracle,
+    run_validation,
+    superposition_oracle,
+)
+
+
+@pytest.fixture(scope="module")
+def bianchi_report():
+    """One default Bianchi-oracle run shared by the module."""
+    return bianchi_oracle()
+
+
+@pytest.fixture(scope="module")
+def superposition_report():
+    """One default superposition-oracle run shared by the module."""
+    return superposition_oracle()
+
+
+@pytest.fixture(scope="module")
+def cold_fleet_report():
+    """One default cold-fleet-oracle run shared by the module."""
+    return cold_fleet_oracle()
+
+
+def test_bianchi_oracle_passes(bianchi_report):
+    assert bianchi_report.oracle == "bianchi"
+    assert bianchi_report.passed, bianchi_report.to_text()
+
+
+def test_bianchi_oracle_gate_coverage(bianchi_report):
+    names = [gate.name for gate in bianchi_report.gates]
+    assert "mean delivered delay (ms)" in names
+    assert "delay std (ms)" in names
+    assert "delay p99 (ms)" in names  # tail-quantile comparison
+    assert "air-loss rate" in names
+    assert "queue late rate vs analytic" in names
+    assert bianchi_report.params["n_robots"] == 25  # matches congested-ap
+
+
+def test_superposition_oracle_passes(superposition_report):
+    assert superposition_report.oracle == "superposition"
+    assert superposition_report.passed, superposition_report.to_text()
+    names = [gate.name for gate in superposition_report.gates]
+    assert "gaussian mean extra delay (ms)" in names
+    assert "heavy p99 extra delay (ms)" in names  # Lomax tail quantile
+
+
+def test_cold_fleet_oracle_passes(cold_fleet_report):
+    assert cold_fleet_report.oracle == "cold-fleet"
+    assert cold_fleet_report.passed, cold_fleet_report.to_text()
+    # The validation fleet must actually exercise the analytic cold path.
+    hot = next(gate for gate in cold_fleet_report.gates if gate.name == "hot APs")
+    assert hot.observed == 0.0
+    analytic = next(
+        gate for gate in cold_fleet_report.gates if gate.name == "analytic sessions == admitted"
+    )
+    assert analytic.observed == analytic.expected > 0
+
+
+def test_run_validation_covers_all_oracles():
+    reports = run_validation()
+    assert [report.oracle for report in reports] == ["bianchi", "superposition", "cold-fleet"]
+    for report in reports:
+        assert report.passed, report.to_text()
+        report.check()  # does not raise
+
+
+# ------------------------------------------------------ mutation-style tests
+def test_bianchi_gates_bite_when_delays_scaled():
+    report = bianchi_oracle(delay_scale=1.5)
+    assert not report.passed
+    failed = {gate.name for gate in report.failures}
+    assert "mean delivered delay (ms)" in failed
+    with pytest.raises(ValidationError):
+        report.check()
+
+
+def test_superposition_gates_bite_when_extra_delay_scaled():
+    report = superposition_oracle(extra_delay_scale=1.5)
+    assert not report.passed
+    with pytest.raises(ValidationError):
+        report.check()
+
+
+def test_cold_fleet_gates_bite_when_completion_biased():
+    report = cold_fleet_oracle(completion_bias_ms=500.0)
+    assert not report.passed
+    failed = {gate.name for gate in report.failures}
+    assert "mean completion (s)" in failed
+    with pytest.raises(ValidationError):
+        report.check()
+
+
+def test_oracle_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        bianchi_oracle(delay_scale=0.0)
+    with pytest.raises(ConfigurationError):
+        superposition_oracle(extra_delay_scale=-1.0)
+    with pytest.raises(ConfigurationError):
+        superposition_oracle(draws=10)
