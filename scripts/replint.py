@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""replint — AST-based reproducibility contract checker for this repository.
+
+Runs the :mod:`repro.lint` rule catalogue (RNG discipline, wall-clock bans,
+error taxonomy, frozen specs, ``__all__`` parity, the ENGINE_EPOCH manifest
+guard) over the requested paths and reports findings as text or JSON.
+
+Usage::
+
+    python scripts/replint.py src                     # lint, exit 1 on findings
+    python scripts/replint.py src --format json       # machine-readable report
+    python scripts/replint.py --update-epoch-manifest # regenerate engine-epoch.json
+    python scripts/replint.py src --update-baseline   # rewrite replint-baseline.json
+
+The baseline update preserves existing justifications and writes a TODO
+placeholder for new entries — fill it in before committing (the checker and
+the tests both refuse TODO/empty justifications in the committed file).
+See docs/linting.md for the rule catalogue and the epoch-bump recipe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+try:
+    import repro.lint  # noqa: F401
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint import (
+    Baseline,
+    build_manifest,
+    run_lint,
+    update_baseline,
+    write_manifest,
+)
+from repro.lint.baseline import TODO_JUSTIFICATION
+from repro.lint.engine import DEFAULT_BASELINE_NAME, DEFAULT_MANIFEST_NAME, NON_BASELINABLE
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="replint", description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"], help="files/directories to lint (default: src)")
+    parser.add_argument("--root", default=str(REPO_ROOT), help="project root (default: the repo checkout)")
+    parser.add_argument("--format", choices=("text", "json"), default="text", dest="fmt")
+    parser.add_argument("--baseline", default=None, help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})")
+    parser.add_argument(
+        "--epoch-manifest", default=None, help=f"epoch manifest (default: <root>/{DEFAULT_MANIFEST_NAME})"
+    )
+    parser.add_argument("--update-baseline", action="store_true", help="rewrite the baseline to cover current findings")
+    parser.add_argument(
+        "--update-epoch-manifest", action="store_true", help="regenerate the engine-epoch manifest and exit"
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    manifest_path = Path(args.epoch_manifest) if args.epoch_manifest else root / DEFAULT_MANIFEST_NAME
+
+    if args.update_epoch_manifest:
+        manifest = build_manifest(root)
+        write_manifest(manifest_path, manifest)
+        print(f"{manifest_path}: epoch {manifest['epoch']}, {len(manifest['files'])} tracked module(s)")
+        return 0
+
+    baseline = Baseline.load(baseline_path)
+
+    if args.update_baseline:
+        report = run_lint(root, args.paths, baseline=Baseline(), manifest_path=manifest_path)
+        relevant = [f for f in report.findings if f.rule_id not in NON_BASELINABLE]
+        remaining = [f for f in report.findings if f.rule_id in NON_BASELINABLE]
+        refreshed = update_baseline(baseline, relevant)
+        refreshed.save(baseline_path)
+        todos = sum(1 for e in refreshed.entries if e.justification == TODO_JUSTIFICATION)
+        print(f"{baseline_path}: {len(refreshed.entries)} entr(ies), {todos} TODO justification(s) to fill in")
+        if remaining:
+            print("note: non-baselinable findings remain (epoch guard / syntax):", file=sys.stderr)
+            for finding in remaining:
+                print(f"  {finding.render()}", file=sys.stderr)
+        return 0
+
+    report = run_lint(root, args.paths, baseline=baseline, manifest_path=manifest_path)
+    if args.fmt == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,7 @@ from .errors import (
     ReproError,
     RobotError,
     SimulationError,
+    StoreError,
 )
 from .forecasting import (
     Forecaster,
@@ -112,6 +113,7 @@ __all__ = [
     "DatasetError",
     "ChannelError",
     "RobotError",
+    "StoreError",
     "Forecaster",
     "MovingAverageForecaster",
     "Seq2SeqForecaster",

@@ -43,3 +43,13 @@ class RobotError(ReproError):
 
 class ValidationError(ReproError):
     """An analytic-oracle tolerance gate failed (simulation vs theory)."""
+
+
+class StoreError(ReproError):
+    """A persisted result-store record is malformed or inconsistent.
+
+    Raised by the shard codecs when a record's envelope (format, epoch,
+    content address, kind) or payload fails validation.  The store's
+    corruption-tolerant load path catches it and treats the shard as a miss;
+    user-reachable codec misuse surfaces it directly.
+    """

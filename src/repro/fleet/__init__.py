@@ -31,6 +31,7 @@ scenario specs, so capacity sweeps are resumable like any other sweep.
 
 from __future__ import annotations
 
+from ..errors import StoreError
 from ..scenarios.store import (
     _metric_tuples,
     decode_delays,
@@ -83,10 +84,10 @@ def _decode_fleet(spec: FleetSpec, key: str, payload: dict) -> FleetResult:
     metrics = _metric_tuples(payload, _FLEET_METRICS)
     utilization = payload["ap_utilization"]
     if not isinstance(utilization, list) or len(utilization) != spec.aps:
-        raise ValueError("ap_utilization does not match the spec's AP count")
+        raise StoreError("ap_utilization does not match the spec's AP count")
     tier = str(payload["tier"])
     if tier != spec.tier:
-        raise ValueError(f"stored tier {tier!r} does not match the spec's {spec.tier!r}")
+        raise StoreError(f"stored tier {tier!r} does not match the spec's {spec.tier!r}")
     return FleetResult(
         spec=spec,
         spec_hash=key,

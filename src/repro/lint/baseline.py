@@ -1,0 +1,199 @@
+"""The committed allowlist of intentional rule exceptions.
+
+A finding the project has *decided* to keep (the store's LRU wall clock, the
+hardware-timing experiment's ``perf_counter``) belongs in the baseline file,
+not behind an inline suppression: the baseline is one reviewable JSON
+document in which every exception carries a one-line justification, so the
+set of waived contracts is auditable at a glance and grows only through an
+explicit diff.
+
+Two entry granularities are supported:
+
+* **line entries** carry ``line_content`` — the stripped source line — and
+  suppress exactly that statement.  Content, not line *numbers*, is the
+  fingerprint, so entries survive unrelated edits that shift lines.
+* **file entries** omit ``line_content`` and suppress every finding of one
+  rule in one file (the right shape for "this module measures wall time by
+  design").
+
+Entries with an empty justification and entries that no longer match any
+finding are themselves reported (``BASE001`` / ``BASE002``), keeping the
+baseline honest in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .findings import Finding
+
+#: Schema version written to (and required of) the baseline file.
+BASELINE_VERSION = 1
+
+#: Placeholder justification written by ``--update-baseline``; the committed
+#: baseline must replace it (tests assert no TODOs survive into the repo).
+TODO_JUSTIFICATION = "TODO: add a one-line justification for this exception"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One allowlisted exception: a rule/path pair plus its justification."""
+
+    rule: str
+    path: str
+    justification: str = ""
+    line_content: str | None = None
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry suppresses the given finding."""
+        if self.rule != finding.rule_id or self.path != finding.path:
+            return False
+        if self.line_content is None:
+            return True
+        return self.line_content == finding.line_content
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (``line_content`` omitted for file entries)."""
+        record: dict = {"rule": self.rule, "path": self.path, "justification": self.justification}
+        if self.line_content is not None:
+            record["line_content"] = self.line_content
+        return record
+
+    def describe(self) -> str:
+        """Short human identification used in integrity findings."""
+        suffix = "" if self.line_content is None else f" [{self.line_content}]"
+        return f"{self.rule} @ {self.path}{suffix}"
+
+
+class Baseline:
+    """An ordered collection of :class:`BaselineEntry` with (de)serialisation."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: list[BaselineEntry] = list(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not Path(path).is_file():
+            return cls()
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"unreadable baseline file {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            version = payload.get("version") if isinstance(payload, dict) else payload
+            raise ConfigurationError(f"baseline {path} has unsupported version {version!r}")
+        entries = []
+        for record in payload.get("entries", []):
+            if not isinstance(record, dict) or "rule" not in record or "path" not in record:
+                raise ConfigurationError(f"malformed baseline entry in {path}: {record!r}")
+            raw_content = record.get("line_content")
+            entries.append(
+                BaselineEntry(
+                    rule=str(record["rule"]),
+                    path=str(record["path"]),
+                    justification=str(record.get("justification", "")),
+                    line_content=None if raw_content is None else str(raw_content),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline file (sorted entries, stable formatting)."""
+        ordered = sorted(self.entries, key=lambda e: (e.path, e.rule, e.line_content or ""))
+        payload = {
+            "version": BASELINE_VERSION,
+            "note": (
+                "Intentional replint exceptions. Every entry must carry a one-line "
+                "justification; stale entries are reported by the checker."
+            ),
+            "entries": [entry.to_dict() for entry in ordered],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def match(self, finding: Finding) -> BaselineEntry | None:
+        """The first entry suppressing ``finding``, or ``None``."""
+        for entry in self.entries:
+            if entry.matches(finding):
+                return entry
+        return None
+
+    def integrity_findings(self, baseline_name: str) -> list[Finding]:
+        """``BASE001`` findings for entries missing a justification."""
+        findings = []
+        for entry in self.entries:
+            if not entry.justification.strip():
+                findings.append(
+                    Finding(
+                        rule_id="BASE001",
+                        path=baseline_name,
+                        line=0,
+                        message=f"baseline entry {entry.describe()} has no justification",
+                        fix_hint="add a one-line justification to the baseline entry",
+                        line_content=entry.describe(),
+                    )
+                )
+        return findings
+
+    def stale_findings(self, used: set[int], baseline_name: str) -> list[Finding]:
+        """``BASE002`` findings for entries that matched nothing this run.
+
+        ``used`` holds ``id()``s of the entries that suppressed at least one
+        finding; everything else is dead weight that must be deleted (or the
+        contract it waived has silently come back into force).
+        """
+        findings = []
+        for entry in self.entries:
+            if id(entry) not in used:
+                findings.append(
+                    Finding(
+                        rule_id="BASE002",
+                        path=baseline_name,
+                        line=0,
+                        message=f"stale baseline entry {entry.describe()} matches no finding",
+                        fix_hint="delete the entry (the exception it documented is gone)",
+                        line_content=entry.describe(),
+                    )
+                )
+        return findings
+
+
+def update_baseline(old: Baseline, findings: Iterable[Finding]) -> Baseline:
+    """Build the baseline that exactly covers ``findings``.
+
+    File-level entries of ``old`` that still match something are kept as-is
+    (they intentionally cover whole modules); line entries keep their old
+    justification when the same fingerprint persists; brand-new entries get
+    :data:`TODO_JUSTIFICATION` and must be hand-edited before committing.
+    """
+    findings = list(findings)
+    kept: list[BaselineEntry] = []
+    for entry in old.entries:
+        if entry.line_content is None and any(entry.matches(f) for f in findings):
+            kept.append(entry)
+    justifications = {
+        (e.rule, e.path, e.line_content): e.justification
+        for e in old.entries
+        if e.line_content is not None
+    }
+    seen = set()
+    for finding in findings:
+        if any(entry.matches(finding) for entry in kept):
+            continue
+        fingerprint = (finding.rule_id, finding.path, finding.line_content)
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        kept.append(
+            BaselineEntry(
+                rule=finding.rule_id,
+                path=finding.path,
+                justification=justifications.get(fingerprint, TODO_JUSTIFICATION),
+                line_content=finding.line_content,
+            )
+        )
+    return Baseline(kept)

@@ -1,0 +1,64 @@
+"""Machine-readable finding format shared by every ``replint`` rule.
+
+A :class:`Finding` is the unit every layer of the checker trades in: rules
+emit them, the baseline suppresses them, the CLI renders them as text or
+JSON, and the tests assert on them.  The format is deliberately small and
+stable — rule id, location, message, fix hint — so CI logs, editors and the
+baseline file can all consume the same records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable identifier of the violated rule (e.g. ``"RNG003"``).
+    path:
+        Path of the offending file, POSIX-style and relative to the project
+        root (so findings are machine-comparable across checkouts).
+    line:
+        1-based line number; ``0`` for project-scope findings that have no
+        single source line (e.g. the engine-epoch manifest guard).
+    message:
+        One-sentence statement of the violation.
+    fix_hint:
+        One-sentence recipe for resolving it.
+    line_content:
+        The stripped source line the finding anchors to.  This — not the
+        line *number* — is the baseline fingerprint, so allowlisted
+        exceptions survive unrelated edits that shift lines.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    fix_hint: str
+    line_content: str = ""
+
+    def sort_key(self) -> tuple[str, int, str]:
+        """Deterministic output ordering: by path, then line, then rule."""
+        return (self.path, self.line, self.rule_id)
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (all fields, stable key names)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "line_content": self.line_content,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering: ``path:line: RULE message (fix: hint)``."""
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: {self.rule_id} {self.message} (fix: {self.fix_hint})"

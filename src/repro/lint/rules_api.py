@@ -1,0 +1,96 @@
+"""Public-API parity rule: ``__all__`` must resolve and be documented.
+
+``API001`` checks every module that declares ``__all__``: each listed name
+must actually be bound in the module (defined, imported or assigned — a
+stale export is an ImportError waiting for the first ``from x import *`` or
+doc build), and every listed name *defined in that module* must carry a
+docstring (the public surface the docs site references stays documented).
+Imported re-exports are checked for resolution only; their docstrings live
+at the definition site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .findings import Finding
+from .registry import FileContext, Rule, register
+
+
+def _module_bindings(tree: ast.Module) -> dict[str, ast.AST | None]:
+    """Top-level name bindings: name -> def/class node (``None`` if opaque)."""
+    bindings: dict[str, ast.AST | None] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bindings[node.name] = node
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bindings[(alias.asname or alias.name).split(".")[0]] = None
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bindings[alias.asname or alias.name] = None
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bindings[target.id] = None
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bindings[node.target.id] = None
+        elif isinstance(node, (ast.If, ast.Try)):
+            for child in ast.walk(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    bindings.setdefault(child.name, None)
+                elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                    for alias in child.names:
+                        bindings.setdefault((alias.asname or alias.name).split(".")[0], None)
+                elif isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        if isinstance(target, ast.Name):
+                            bindings.setdefault(target.id, None)
+    return bindings
+
+
+def _all_declaration(tree: ast.Module) -> tuple[ast.Assign, list[str]] | None:
+    """The top-level ``__all__`` assignment and its literal entries, if any."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets):
+                try:
+                    entries = ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+                if isinstance(entries, (list, tuple)):
+                    return node, [e for e in entries if isinstance(e, str)]
+    return None
+
+
+class PublicApiDocstringRule(Rule):
+    """``API001``: names in ``__all__`` resolve and are documented."""
+
+    rule_id = "API001"
+    title = "__all__ entries must resolve to bound names and be documented where defined"
+    fix_hint = "remove the stale export, or add a docstring to the definition"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag unresolved ``__all__`` entries and undocumented definitions."""
+        declaration = _all_declaration(ctx.tree)
+        if declaration is None:
+            return
+        node, entries = declaration
+        bindings = _module_bindings(ctx.tree)
+        for name in entries:
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            if name not in bindings:
+                yield self.finding(ctx, node, f"__all__ exports {name!r}, which is not bound in the module")
+                continue
+            definition = bindings[name]
+            if definition is not None and ast.get_docstring(definition) is None:
+                yield self.finding(
+                    ctx,
+                    definition,
+                    f"__all__ exports {name!r}, but its definition has no docstring",
+                )
+
+
+register(PublicApiDocstringRule())

@@ -73,7 +73,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, StoreError
 from .engine import ENGINE_EPOCH, SessionResult
 from .spec import ScenarioSpec
 
@@ -102,10 +102,10 @@ def _metric_tuples(payload: dict, fields: tuple[str, ...]) -> dict:
     for field in fields:
         values = payload[field]
         if not isinstance(values, list) or not values:
-            raise ValueError(f"field {field!r} is not a non-empty list")
+            raise StoreError(f"field {field!r} is not a non-empty list")
         metrics[field] = tuple(float(v) for v in values)
     if len({len(v) for v in metrics.values()}) != 1:
-        raise ValueError("per-repetition metric tuples have inconsistent lengths")
+        raise StoreError("per-repetition metric tuples have inconsistent lengths")
     return metrics
 
 
@@ -279,15 +279,15 @@ class ResultStore:
     def _decode(self, spec, key: str, payload: dict):
         """Rebuild a result from a shard record, validating the envelope."""
         if payload.get("format") != _RECORD_FORMAT:
-            raise ValueError(f"unknown record format {payload.get('format')!r}")
+            raise StoreError(f"unknown record format {payload.get('format')!r}")
         if payload.get("epoch") != self.epoch:
-            raise ValueError(f"epoch mismatch: {payload.get('epoch')!r} != {self.epoch}")
+            raise StoreError(f"epoch mismatch: {payload.get('epoch')!r} != {self.epoch}")
         if payload.get("spec_hash") != key:
-            raise ValueError(f"content address mismatch: {payload.get('spec_hash')!r} != {key}")
+            raise StoreError(f"content address mismatch: {payload.get('spec_hash')!r} != {key}")
         expected = getattr(spec, "store_kind", "session")
         kind = payload.get("kind", "session")
         if kind != expected:
-            raise ValueError(f"record kind {kind!r} does not match the spec's {expected!r}")
+            raise StoreError(f"record kind {kind!r} does not match the spec's {expected!r}")
         _, decode = _CODECS[expected]
         return decode(spec, key, payload)
 
@@ -313,7 +313,7 @@ class ResultStore:
             return None
         try:
             result = self._decode(spec, key, json.loads(text))
-        except (ValueError, KeyError, TypeError):
+        except (StoreError, ValueError, KeyError, TypeError):
             path.unlink(missing_ok=True)
             with self._lock:
                 self._corrupted += 1

@@ -1,0 +1,7 @@
+"""Fixture: __all__ exports an undocumented definition (API001)."""
+
+__all__ = ["helper"]
+
+
+def helper() -> int:
+    return 1

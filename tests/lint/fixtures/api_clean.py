@@ -1,0 +1,8 @@
+"""Fixture: __all__ exports resolve and are documented (clean)."""
+
+__all__ = ["helper"]
+
+
+def helper() -> int:
+    """Return a documented constant."""
+    return 1

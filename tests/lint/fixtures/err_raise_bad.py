@@ -1,0 +1,8 @@
+"""Fixture: anticipated failure raised as a bare builtin (ERR001)."""
+
+
+def validate(value: float) -> float:
+    """Reject negative values with the wrong exception type."""
+    if value < 0:
+        raise ValueError("value must be >= 0")
+    return value

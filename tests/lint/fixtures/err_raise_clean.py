@@ -1,0 +1,10 @@
+"""Fixture: anticipated failure raised through the typed taxonomy (clean)."""
+
+from repro.errors import ConfigurationError
+
+
+def validate(value: float) -> float:
+    """Reject negative values with the taxonomy type."""
+    if value < 0:
+        raise ConfigurationError("value must be >= 0")
+    return value

@@ -1,0 +1,12 @@
+"""Fixture: a typed failure silently swallowed (ERR002)."""
+
+from repro.errors import ReproError
+
+
+def load(loader) -> object:
+    """Swallow the taxonomy with a bare pass."""
+    try:
+        return loader()
+    except ReproError:
+        pass
+    return None

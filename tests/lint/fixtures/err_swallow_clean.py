@@ -1,0 +1,11 @@
+"""Fixture: a typed failure handled explicitly (clean)."""
+
+from repro.errors import ReproError
+
+
+def load(loader) -> object:
+    """Turn a typed failure into an explicit miss."""
+    try:
+        return loader()
+    except ReproError:
+        return None

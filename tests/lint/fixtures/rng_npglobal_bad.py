@@ -1,0 +1,8 @@
+"""Fixture: legacy module-level numpy RNG call (RNG002)."""
+
+import numpy as np
+
+
+def draw(n: int) -> np.ndarray:
+    """Sample from the hidden global RandomState."""
+    return np.random.normal(0.0, 1.0, size=n)

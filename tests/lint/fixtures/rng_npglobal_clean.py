@@ -1,0 +1,8 @@
+"""Fixture: distribution drawn on an explicit Generator (clean)."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Sample from the caller's generator."""
+    return rng.normal(0.0, 1.0, size=n)

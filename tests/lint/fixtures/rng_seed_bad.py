@@ -1,0 +1,6 @@
+"""Fixture: default_rng with a literal seed and with no seed (RNG003)."""
+
+import numpy as np
+
+RNG_LITERAL = np.random.default_rng(1234)
+RNG_UNSEEDED = np.random.default_rng()

@@ -1,0 +1,8 @@
+"""Fixture: default_rng seeded from a derived parameter (clean)."""
+
+import numpy as np
+
+
+def make_rng(spec_seed: int, repetition: int) -> np.random.Generator:
+    """Build the block-ordered generator for one repetition."""
+    return np.random.default_rng(spec_seed + repetition)

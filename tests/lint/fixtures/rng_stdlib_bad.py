@@ -1,0 +1,8 @@
+"""Fixture: draws randomness from the stdlib random module (RNG001)."""
+
+import random
+
+
+def draw() -> float:
+    """Return a process-global random draw."""
+    return random.random()

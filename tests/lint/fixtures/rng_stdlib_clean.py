@@ -1,0 +1,8 @@
+"""Fixture: randomness flows from an injected numpy Generator (clean)."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator) -> float:
+    """Return a draw from the caller's generator."""
+    return float(rng.uniform())

@@ -1,0 +1,11 @@
+"""Fixture: a mutable, unfrozen spec dataclass (SPEC001)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BrokenSpec:
+    """Spec that is neither frozen nor hashable."""
+
+    name: str
+    values: list[float] = field(default_factory=list)

@@ -1,0 +1,11 @@
+"""Fixture: a frozen, hashable spec dataclass (clean)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    """Spec with immutable, hashable fields only."""
+
+    name: str
+    values: tuple[float, ...] = ()

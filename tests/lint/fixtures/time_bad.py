@@ -1,0 +1,19 @@
+"""Fixture: engine code reading the wall clock (TIME001)."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    """Return a wall-clock timestamp."""
+    return time.time()
+
+
+def perf() -> float:
+    """Return a timer read."""
+    return time.perf_counter()
+
+
+def today() -> str:
+    """Return the wall-clock date."""
+    return datetime.now().isoformat()

@@ -1,0 +1,6 @@
+"""Fixture: simulated time threaded through parameters (clean)."""
+
+
+def advance(now_ms: float, step_ms: float) -> float:
+    """Advance the simulated clock by one step."""
+    return now_ms + step_ms

@@ -1,0 +1,143 @@
+"""Baseline behaviour: suppression, integrity findings, and the update round-trip."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import Baseline, BaselineEntry, all_rules, run_lint, update_baseline
+from repro.lint.baseline import TODO_JUSTIFICATION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: File-scope rules only: the tmp trees below have no engine-epoch manifest,
+#: so the project-scope EPOCH001 guard would (correctly) fail on them.
+FILE_RULES = [rule for rule in all_rules() if rule.scope == "file"]
+
+
+def write_tree(root: Path, violating: bool = True) -> None:
+    pkg = root / "src" / "repro" / "scenarios"
+    pkg.mkdir(parents=True)
+    name = "time_bad.py" if violating else "time_clean.py"
+    (pkg / "clock.py").write_text((FIXTURES / name).read_text(encoding="utf-8"), encoding="utf-8")
+
+
+def test_line_entry_suppresses_matching_finding(tmp_path):
+    write_tree(tmp_path)
+    report = run_lint(tmp_path, ["src"], rules=FILE_RULES)
+    violations = [f for f in report.findings if f.rule_id == "TIME001"]
+    assert violations, "fixture tree should violate TIME001"
+
+    baseline = Baseline(
+        entries=[
+            BaselineEntry(
+                rule=f.rule_id, path=f.path, justification="fixture clock", line_content=f.line_content
+            )
+            for f in violations
+        ]
+    )
+    report = run_lint(tmp_path, ["src"], baseline=baseline, rules=FILE_RULES)
+    assert report.ok and len(report.suppressed) == len(violations)
+
+
+def test_file_level_entry_suppresses_whole_file(tmp_path):
+    write_tree(tmp_path)
+    baseline = Baseline(
+        entries=[BaselineEntry(rule="TIME001", path="src/repro/scenarios/clock.py", justification="profiling")]
+    )
+    report = run_lint(tmp_path, ["src"], baseline=baseline, rules=FILE_RULES)
+    assert report.ok and report.suppressed
+
+
+def test_empty_justification_raises_base001(tmp_path):
+    write_tree(tmp_path)
+    entry = BaselineEntry(rule="TIME001", path="src/repro/scenarios/clock.py", justification="")
+    report = run_lint(tmp_path, ["src"], baseline=Baseline(entries=[entry]), rules=FILE_RULES)
+    assert not report.ok
+    assert "BASE001" in {f.rule_id for f in report.findings}
+
+
+def test_stale_entry_raises_base002(tmp_path):
+    write_tree(tmp_path, violating=False)
+    entry = BaselineEntry(rule="TIME001", path="src/repro/scenarios/clock.py", justification="obsolete")
+    report = run_lint(tmp_path, ["src"], baseline=Baseline(entries=[entry]), rules=FILE_RULES)
+    assert not report.ok
+    base002 = [f for f in report.findings if f.rule_id == "BASE002"]
+    assert len(base002) == 1 and "clock.py" in base002[0].message
+
+
+def test_non_baselinable_syntax_finding_cannot_be_suppressed(tmp_path):
+    write_tree(tmp_path)
+    (tmp_path / "src" / "repro" / "scenarios" / "broken.py").write_text("def f(:\n", encoding="utf-8")
+    entry = BaselineEntry(rule="SYNTAX001", path="src/repro/scenarios/broken.py", justification="wip")
+    report = run_lint(tmp_path, ["src"], baseline=Baseline(entries=[entry]), rules=FILE_RULES)
+    assert "SYNTAX001" in {f.rule_id for f in report.findings}
+
+
+def test_update_baseline_round_trip(tmp_path):
+    write_tree(tmp_path)
+    first = run_lint(tmp_path, ["src"], rules=FILE_RULES)
+    updated = update_baseline(Baseline(entries=[]), first.findings)
+    assert updated.entries and all(e.justification == TODO_JUSTIFICATION for e in updated.entries)
+
+    path = tmp_path / "replint-baseline.json"
+    updated.save(path)
+    reloaded = Baseline.load(path)
+    # save() sorts entries for a stable diff; compare as sets of records.
+    reloaded_records = sorted((json.dumps(e.to_dict(), sort_keys=True) for e in reloaded.entries))
+    updated_records = sorted((json.dumps(e.to_dict(), sort_keys=True) for e in updated.entries))
+    assert reloaded_records == updated_records
+
+    # With justifications filled in, the same tree lints clean.
+    justified = Baseline(entries=[replace(e, justification="fixture clock") for e in reloaded.entries])
+    report = run_lint(tmp_path, ["src"], baseline=justified, rules=FILE_RULES)
+    assert report.ok and report.suppressed
+
+
+def test_update_baseline_preserves_existing_justifications(tmp_path):
+    write_tree(tmp_path)
+    findings = run_lint(tmp_path, ["src"], rules=FILE_RULES).findings
+    first = update_baseline(Baseline(entries=[]), findings)
+    justified = Baseline(entries=[replace(e, justification="reviewed: LRU clock") for e in first.entries])
+    second = update_baseline(justified, findings)
+    assert second.entries and all(e.justification == "reviewed: LRU clock" for e in second.entries)
+
+
+def test_update_baseline_keeps_matching_file_level_entries(tmp_path):
+    write_tree(tmp_path)
+    findings = run_lint(tmp_path, ["src"], rules=FILE_RULES).findings
+    file_entry = BaselineEntry(
+        rule="TIME001", path="src/repro/scenarios/clock.py", justification="whole module is a clock"
+    )
+    updated = update_baseline(Baseline(entries=[file_entry]), findings)
+    assert updated.entries == [file_entry]
+
+
+def test_load_missing_baseline_is_empty_and_malformed_raises(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").entries == []
+    bad = tmp_path / "bad.json"
+    bad.write_text("[]", encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        Baseline.load(bad)
+    versioned = tmp_path / "versioned.json"
+    versioned.write_text('{"version": 99, "entries": []}', encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        Baseline.load(versioned)
+
+
+def test_line_entries_survive_line_shift(tmp_path):
+    """Content fingerprints keep matching after unrelated edits move the code."""
+    write_tree(tmp_path)
+    target = tmp_path / "src" / "repro" / "scenarios" / "clock.py"
+    findings = run_lint(tmp_path, ["src"], rules=FILE_RULES).findings
+    baseline = update_baseline(Baseline(entries=[]), findings)
+    baseline = Baseline(entries=[replace(e, justification="fixture clock") for e in baseline.entries])
+
+    shifted = '"""Shifted module docstring."""\n\nPAD = 1\n\n' + target.read_text(encoding="utf-8")
+    target.write_text(shifted, encoding="utf-8")
+    report = run_lint(tmp_path, ["src"], baseline=baseline, rules=FILE_RULES)
+    assert report.ok and report.suppressed

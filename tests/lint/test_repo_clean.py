@@ -1,0 +1,82 @@
+"""Integration: the committed tree, baseline and manifest satisfy replint end to end."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import Baseline, run_lint
+from repro.lint.baseline import TODO_JUSTIFICATION
+from repro.lint.engine import DEFAULT_BASELINE_NAME, DEFAULT_MANIFEST_NAME
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def replint_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "replint.py"), *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_src_tree_is_clean_under_committed_baseline():
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_NAME)
+    report = run_lint(REPO_ROOT, ["src"], baseline=baseline)
+    assert report.ok, "\n" + report.render_text()
+    assert report.suppressed, "the committed baseline should be doing real work"
+    assert report.files_checked > 50
+
+
+def test_committed_baseline_entries_are_all_justified():
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE_NAME)
+    assert baseline.entries, "committed baseline should document the intentional exceptions"
+    for entry in baseline.entries:
+        assert entry.justification.strip(), f"unjustified baseline entry: {entry.describe()}"
+        assert entry.justification != TODO_JUSTIFICATION, f"TODO left in baseline: {entry.describe()}"
+
+
+def test_cli_json_output_is_clean_and_machine_readable():
+    result = replint_cli("src", "--format", "json")
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["ok"] is True
+    assert payload["findings"] == []
+    assert payload["suppressed"], "suppressed findings should surface with their justifications"
+    assert all(item["justification"].strip() for item in payload["suppressed"])
+
+
+def test_cli_fails_without_the_baseline(tmp_path):
+    """Dropping the baseline re-activates the suppressed findings and exits 1."""
+    empty = tmp_path / "empty-baseline.json"
+    result = replint_cli("src", "--baseline", str(empty))
+    assert result.returncode == 1
+    assert "TIME001" in result.stdout
+
+
+def test_cli_fails_when_manifest_entry_is_deleted(tmp_path):
+    """The CI-facing half of the acceptance criterion, via the real CLI."""
+    manifest = json.loads((REPO_ROOT / DEFAULT_MANIFEST_NAME).read_text(encoding="utf-8"))
+    del manifest["files"]["src/repro/scenarios/engine.py"]
+    doctored = tmp_path / "doctored-epoch.json"
+    doctored.write_text(json.dumps(manifest), encoding="utf-8")
+
+    result = replint_cli("src", "--epoch-manifest", str(doctored))
+    assert result.returncode == 1
+    assert "EPOCH001" in result.stdout and "not covered" in result.stdout
+
+
+def test_cli_update_epoch_manifest_is_a_noop_on_clean_tree(tmp_path):
+    regenerated = tmp_path / "regenerated.json"
+    result = replint_cli("--update-epoch-manifest", "--epoch-manifest", str(regenerated))
+    assert result.returncode == 0, result.stdout + result.stderr
+    fresh = json.loads(regenerated.read_text(encoding="utf-8"))
+    committed = json.loads((REPO_ROOT / DEFAULT_MANIFEST_NAME).read_text(encoding="utf-8"))
+    assert fresh == committed

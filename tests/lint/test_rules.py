@@ -1,0 +1,118 @@
+"""Fixture-driven tests: one true-positive and one clean fixture per rule."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Synthetic in-tree location: fixtures are linted as if they were engine code.
+ENGINE_PATH = "src/repro/scenarios/fixture_module.py"
+
+#: (bad fixture, clean fixture, rule id) — the core catalogue contract.
+RULE_FIXTURES = [
+    ("rng_stdlib_bad.py", "rng_stdlib_clean.py", "RNG001"),
+    ("rng_npglobal_bad.py", "rng_npglobal_clean.py", "RNG002"),
+    ("rng_seed_bad.py", "rng_seed_clean.py", "RNG003"),
+    ("time_bad.py", "time_clean.py", "TIME001"),
+    ("err_raise_bad.py", "err_raise_clean.py", "ERR001"),
+    ("err_swallow_bad.py", "err_swallow_clean.py", "ERR002"),
+    ("spec_bad.py", "spec_clean.py", "SPEC001"),
+    ("api_bad.py", "api_clean.py", "API001"),
+]
+
+
+def rule_ids(source: str) -> set[str]:
+    return {finding.rule_id for finding in lint_source(source, ENGINE_PATH)}
+
+
+@pytest.mark.parametrize("bad,clean,rule_id", RULE_FIXTURES)
+def test_bad_fixture_trips_exactly_its_rule(bad, clean, rule_id):
+    """The violating fixture fires its rule; the clean twin fires nothing."""
+    bad_ids = rule_ids((FIXTURES / bad).read_text(encoding="utf-8"))
+    assert rule_id in bad_ids, f"{bad} should trip {rule_id}, got {bad_ids}"
+    clean_ids = rule_ids((FIXTURES / clean).read_text(encoding="utf-8"))
+    assert not clean_ids, f"{clean} should be clean, got {clean_ids}"
+
+
+def test_findings_carry_location_message_and_hint():
+    source = (FIXTURES / "err_raise_bad.py").read_text(encoding="utf-8")
+    findings = lint_source(source, ENGINE_PATH)
+    (finding,) = [f for f in findings if f.rule_id == "ERR001"]
+    assert finding.path == ENGINE_PATH
+    assert finding.line > 0
+    assert finding.line_content.startswith("raise ValueError")
+    assert "ValueError" in finding.message
+    assert finding.fix_hint
+    payload = finding.to_dict()
+    assert payload["rule"] == "ERR001" and payload["line"] == finding.line
+
+
+def test_rng002_counts_every_global_draw_but_allows_constructors():
+    source = "import numpy as np\nA = np.random.seed(3)\nB = np.random.rand(4)\n"
+    ids = [f.rule_id for f in lint_source(source, ENGINE_PATH)]
+    assert ids.count("RNG002") == 2
+    clean = "import numpy as np\nGEN = np.random.SeedSequence(None)\n"
+    assert not [f for f in lint_source(clean, ENGINE_PATH) if f.rule_id == "RNG002"]
+
+
+def test_rng003_flags_keyword_literal_seed():
+    source = "import numpy as np\nRNG = np.random.default_rng(seed=7)\n"
+    assert {"RNG003"} == {f.rule_id for f in lint_source(source, ENGINE_PATH)}
+
+
+def test_time001_catches_bare_name_import_and_utcnow():
+    source = "from time import perf_counter\n\n\ndef f():\n    return perf_counter()\n"
+    assert "TIME001" in {f.rule_id for f in lint_source(source, ENGINE_PATH)}
+    source = "from datetime import datetime\nNOW = datetime.utcnow()\n"
+    assert "TIME001" in {f.rule_id for f in lint_source(source, ENGINE_PATH)}
+
+
+def test_err002_flags_bare_except_and_blanket_exception():
+    source = "def f(x):\n    try:\n        return x()\n    except Exception:\n        pass\n    return None\n"
+    assert "ERR002" in {f.rule_id for f in lint_source(source, ENGINE_PATH)}
+
+
+def test_err002_allows_narrow_builtin_swallow():
+    source = "def f(x):\n    try:\n        return x()\n    except OSError:\n        pass\n    return None\n"
+    assert "ERR002" not in {f.rule_id for f in lint_source(source, ENGINE_PATH)}
+
+
+def test_spec001_reports_each_mutable_field_and_skips_classvar():
+    source = (
+        "from dataclasses import dataclass\n"
+        "from typing import ClassVar\n"
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "@dataclass(frozen=True)\n"
+        "class ArraySpec:\n"
+        "    trace: np.ndarray\n"
+        "    registry: ClassVar[dict] = {}\n"
+    )
+    findings = [f for f in lint_source(source, ENGINE_PATH) if f.rule_id == "SPEC001"]
+    assert len(findings) == 1 and "trace" in findings[0].message
+
+
+def test_spec001_ignores_non_dataclass_and_non_spec_names():
+    source = "class PlainSpec:\n    pass\n\n\nclass Config:\n    values: list = []\n"
+    assert "SPEC001" not in {f.rule_id for f in lint_source(source, ENGINE_PATH)}
+
+
+def test_api001_flags_unresolved_export():
+    source = '__all__ = ["ghost"]\n'
+    findings = [f for f in lint_source(source, ENGINE_PATH) if f.rule_id == "API001"]
+    assert len(findings) == 1 and "ghost" in findings[0].message
+
+
+def test_repo_tree_uses_no_stdlib_random_anywhere():
+    """RNG001 over the real src tree: the discipline holds globally."""
+    root = Path(__file__).resolve().parents[2]
+    from repro.lint import get_rule, run_lint
+
+    report = run_lint(root, ["src"], rules=[get_rule("RNG001")])
+    assert report.ok, [f.render() for f in report.findings]
