@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import SessionEngine, get_scenario
+from repro import get_scenario, sweep
 from repro.robot import NiryoOneArm
 
 
@@ -40,12 +40,15 @@ def text_plot(times_s: np.ndarray, series: dict[str, np.ndarray], width: int = 6
 
 
 def main() -> None:
-    engine = SessionEngine()
     arm = NiryoOneArm()
     base = get_scenario("bursty-loss", seed=1).with_channel(n_bursts=4, min_gap=80)
 
-    for burst in (5, 10, 25):
-        result = engine.run(base.with_channel(burst_length=burst))
+    # One facade call resolves all three burst lengths (sharing datasets and
+    # the trained forecaster across them).
+    bursts = (5, 10, 25)
+    results = sweep([base.with_channel(burst_length=burst) for burst in bursts])
+
+    for burst, result in zip(bursts, results):
         outcome = result.outcome
         print(f"== {burst} consecutive losses ==")
         print(f"   no-forecast RMSE {result.mean_rmse_no_forecast_mm:6.2f} mm")

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro
 from repro import get_scenario
 from repro.forecasting import Forecaster, register_forecaster
-from repro.scenarios import SweepExecutor, scenario_grid
+from repro.scenarios import scenario_grid
 
 
 class LinearExtrapolationForecaster(Forecaster):
@@ -56,7 +57,7 @@ def main() -> None:
 
     base = get_scenario("bursty-loss", seed=9).with_channel(burst_length=15)
     specs = scenario_grid(base, {"foreco.algorithm": tuple(LABELS)})
-    sweep = SweepExecutor(jobs=2).run(specs)
+    sweep = repro.sweep(specs, jobs=2)
 
     print(f"{'forecaster':<30s} {'FoReCo RMSE [mm]':>18s}")
     print("-" * 50)

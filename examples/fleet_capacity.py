@@ -12,9 +12,8 @@ the service-level metrics:
 * the capacity verdict is the largest N that stays inside the SLO.
 
 Because fleet specs are hashable values, the sweep runs through the
-ordinary :class:`repro.scenarios.SweepExecutor` — add a
-:class:`repro.scenarios.ResultStore` and re-runs (or grown sweeps) compute
-only what is new, exactly like scenario sweeps.
+ordinary :func:`repro.sweep` facade — add ``store="path/"`` and re-runs
+(or grown sweeps) compute only what is new, exactly like scenario sweeps.
 
 Run it with::
 
@@ -25,8 +24,8 @@ See ``docs/fleet.md`` for the fleet model and the metric definitions.
 
 from __future__ import annotations
 
+import repro
 from repro.fleet import get_fleet
-from repro.scenarios import SweepExecutor
 
 #: Operator populations to probe (the preset AP saturates inside this range).
 POPULATIONS = (1, 2, 3, 4, 5, 6)
@@ -42,7 +41,7 @@ def main() -> None:
         get_fleet("shared-ap", operators=n).with_(name=f"shared-ap-{n}", ap_capacity=max(POPULATIONS))
         for n in POPULATIONS
     ]
-    sweep = SweepExecutor(jobs=4).run(fleets)
+    sweep = repro.sweep(fleets, jobs=4)
 
     header = (
         f"{'ops':>4s} {'util':>6s} {'late':>6s} {'p99 rec':>8s} "

@@ -3,7 +3,7 @@
 
 Declares the sweep as a grid of :class:`repro.ScenarioSpec` values — robots
 sharing the 802.11 medium x interference probability x burst duration — and
-fans it out over worker threads with the :class:`repro.SweepExecutor`.  The
+fans it out over worker threads with the :func:`repro.sweep` facade.  The
 result is a uniform table with the trajectory RMSE of the stock stack and of
 FoReCo for every cell; thanks to spec-derived seeding it is identical no
 matter how many workers run it.  The full-size sweep lives in
@@ -17,7 +17,7 @@ Run it with::
 
 from __future__ import annotations
 
-from repro import SweepExecutor
+import repro
 from repro.scenarios import ScenarioSpec, scenario_grid, wireless_channel
 
 ROBOT_COUNTS = (5, 15, 25)
@@ -44,7 +44,7 @@ def main() -> None:
     )
     print(f"{len(specs)} scenarios x {REPETITIONS} repetitions on {JOBS} workers\n")
 
-    sweep = SweepExecutor(jobs=JOBS).run(specs)
+    sweep = repro.sweep(specs, jobs=JOBS)
 
     header = (
         f"{'robots':>6s} {'p_if':>6s} {'T_if':>6s} {'late':>6s} "

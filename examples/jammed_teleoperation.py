@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import SessionEngine, get_scenario
+from repro import get_scenario, run_scenario
 from repro.robot import NiryoOneArm
 
 
@@ -24,7 +24,7 @@ def main() -> None:
     spec = get_scenario("jammer", seed=5)
     print(f"scenario         : {spec.describe()}")
 
-    result = SessionEngine().run(spec)
+    result = run_scenario(spec)
     outcome = result.outcome
     delays = result.delays_ms
     deadline_ms = spec.foreco.to_config().deadline_ms

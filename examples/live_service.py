@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Live service mode: online admission control over a fleet workload.
+
+Runs the ``service-shared-ap`` preset through the :func:`repro.serve`
+facade: operators arrive on the virtual clock, an admission policy places
+(or rejects) each session, and the engine streams incremental
+:class:`repro.service.ServiceSnapshot` metrics.  The script then re-serves
+the identical spec to show live replay determinism, and ranks all three
+admission policies on the same workload with
+:func:`repro.service.compare_policies`.
+
+Run it with::
+
+    python examples/live_service.py
+"""
+
+from __future__ import annotations
+
+from repro import get_service, serve
+from repro.service import compare_policies, pace_snapshots
+
+
+def main() -> None:
+    # A small instance of the preset (the registry default is larger).
+    spec = get_service("service-shared-ap").with_template(scale="ci")
+    print(f"service    : {spec.describe()}")
+    print(f"spec hash  : {spec.spec_hash()}  (the store address)\n")
+
+    result = serve(spec)
+    print(result.to_text(), "\n")
+
+    # Watch the stream "live": 60 virtual seconds per wall second.  Pacing
+    # is a display shim only — the result is identical either way.
+    print("snapshot stream (x60 speedup):")
+    for snapshot in pace_snapshots(result.snapshots[:6], speedup=60.0):
+        p99 = snapshot.rolling_p99_recovery
+        print(
+            f"  t={snapshot.time_s:6.1f}s active={snapshot.active_sessions:2d} "
+            f"admitted={snapshot.admitted:2d} dropped={snapshot.dropped} "
+            f"p99-recovery={'--' if p99 is None else f'{p99:.2f}'}"
+        )
+
+    # Virtual time means perfect replay: serving the same spec twice is
+    # bit-identical, snapshot stream included.
+    again = serve(spec)
+    print(f"\nreplay identical : {again.to_dict() == result.to_dict()}")
+
+    # Rank the three admission policies on this exact workload (identical
+    # arrivals and channel draws — only the admission decisions differ).
+    comparison = compare_policies(spec)
+    print("\n" + comparison.to_text())
+
+
+if __name__ == "__main__":
+    main()

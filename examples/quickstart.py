@@ -9,9 +9,9 @@ script walks through the essentials:
 
 1. fetch a named preset from the scenario registry (a congested access
    point) and customise it;
-2. run it through the :class:`repro.SessionEngine` — dataset generation,
-   forecaster training and the baseline-vs-FoReCo simulation all happen
-   behind one call, cached by the spec's hash;
+2. run it through the :func:`repro.run_scenario` facade — dataset
+   generation, forecaster training and the baseline-vs-FoReCo simulation
+   all happen behind one call, addressed by the spec's hash;
 3. read the uniform result row (RMSE pair, improvement, late share).
 
 Run it with::
@@ -21,7 +21,7 @@ Run it with::
 
 from __future__ import annotations
 
-from repro import SessionEngine, get_scenario, scenario_names
+from repro import get_scenario, run_scenario, scenario_names
 
 
 def main() -> None:
@@ -32,23 +32,22 @@ def main() -> None:
     print(f"spec hash         : {spec.spec_hash()}  (the result-cache key)")
 
     # 2. Resolve the spec: datasets, training and simulation in one call.
-    engine = SessionEngine()
-    datasets = engine.datasets(spec)
-    print(f"training commands : {len(datasets.experienced)}")
-    print(f"test commands     : {len(datasets.inexperienced)}")
-
-    result = engine.run(spec)
+    # (Pass store="path/" to persist the result and make reruns free, or
+    # seed=N to override the spec's seed without rebuilding it.)
+    result = run_scenario(spec)
 
     # 3. The uniform result row every scenario produces.
+    print(f"repetitions       : {result.repetitions}")
     print(f"late/lost share   : {result.mean_late_fraction:.1%}")
     print(f"recovered slots   : {result.mean_recovery_fraction:.1%}")
     print(f"no-forecast RMSE  : {result.mean_rmse_no_forecast_mm:.2f} mm")
     print(f"FoReCo RMSE       : {result.mean_rmse_foreco_mm:.2f} mm")
     print(f"improvement       : x{result.improvement_factor:.1f}")
 
-    # Re-running the same spec is free: the engine caches by spec hash.
-    again = engine.run(spec)
-    print(f"cached re-run     : {again is result}")
+    # Every random draw is seeded from the spec, so re-running the same
+    # spec reproduces the result bit for bit.
+    again = run_scenario(spec)
+    print(f"replayed re-run   : {again.to_dict() == result.to_dict()}")
 
 
 if __name__ == "__main__":

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import repro
 from repro.analysis import load_sweep
-from repro.scenarios import ResultStore, ScenarioSpec, SweepExecutor, loss_burst_channel, scenario_grid
+from repro.scenarios import ResultStore, ScenarioSpec, loss_burst_channel, scenario_grid
 
 STORE_DIR = Path(__file__).resolve().parent.parent / ".foreco-store"
 
@@ -42,7 +43,7 @@ def run_grid(store: ResultStore, seeds, label: str):
         seed=1,
     )
     specs = scenario_grid(base, {"channel.burst_length": BURST_LENGTHS, "seed": seeds})
-    sweep = SweepExecutor(jobs=4, store=store).run(specs)
+    sweep = repro.sweep(specs, jobs=4, store=store)
     print(
         f"{label}: {sweep.store_hits} hits / {sweep.store_misses} misses "
         f"({100 * sweep.hit_fraction:.0f}% reused)"

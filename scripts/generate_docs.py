@@ -40,6 +40,12 @@ from repro.scenarios import (
     scale_names,
     scenario_catalog,
 )
+from repro.service import (
+    POLICY_KIND_SUMMARIES,
+    POLICY_KINDS,
+    get_service,
+    service_catalog,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 PRESETS_PAGE = REPO_ROOT / "docs" / "presets.md"
@@ -167,6 +173,36 @@ def _tier_knob_table() -> list[str]:
     return lines
 
 
+def _service_table() -> list[str]:
+    lines = [
+        "| Service | Fleet | Policy | Limit | Forecast | Snapshot every | Description |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for name, description in service_catalog().items():
+        spec = get_service(name)
+        forecast = (
+            f"`{spec.forecast_algorithm}` @ {spec.forecast_record}"
+            if spec.policy == "forecast-aware"
+            else "—"
+        )
+        lines.append(
+            f"| `{name}` | `{spec.fleet.name}` | `{spec.policy}` | "
+            f"{spec.utilization_limit:g} | {forecast} | {spec.snapshot_every_slots} slots | "
+            f"{description} |"
+        )
+    return lines
+
+
+def _policy_table() -> list[str]:
+    lines = [
+        "| Policy | Admission rule |",
+        "| --- | --- |",
+    ]
+    for kind in POLICY_KINDS:
+        lines.append(f"| `{kind}` | {POLICY_KIND_SUMMARIES.get(kind, '')} |")
+    return lines
+
+
 def _scale_table() -> list[str]:
     lines = [
         "| Scale | Train reps | Test reps | Heatmap reps | Run (s) | Fig. 7 windows (ms) |",
@@ -286,6 +322,17 @@ def render() -> str:
     parts.append("\nOverride from the CLI with `foreco-experiments --fleet-tier")
     parts.append("hybrid|exact`; crossover guidance and the error bound live in the")
     parts.append('[fleet operations guide](fleet.md), "City scale".\n')
+    parts.append("## Service presets (live admission)\n")
+    parts.extend(_service_table())
+    parts.append("\nA service runs its fleet workload *live*: operator sessions arrive on")
+    parts.append("the virtual clock and an admission policy places, migrates or drops")
+    parts.append("each one as it arrives, streaming incremental snapshots.  Fetch one")
+    parts.append("with `repro.get_service(name)`, run it with `repro.serve(...)` or any")
+    parts.append("`SweepExecutor`, or from the CLI: `foreco-experiments serve [--policy")
+    parts.append('NAME] [--until SECONDS]`.  See [fleet operations](fleet.md), "Live')
+    parts.append('operations".\n')
+    parts.extend(_policy_table())
+    parts.append("")
     parts.append("## Sizing scales\n")
     parts.extend(_scale_table())
     parts.append("\n`full` approaches the paper's sweep sizes; `ci` keeps every")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""CI smoke test for the live-service loop, end to end.
+
+Serves a tiny truncated workload through the real CLI code path
+(:func:`repro.experiments.runner.run_experiments`) and asserts the
+contracts a clean checkout must honour:
+
+* the serve report is **bit-identical across** ``--jobs 1`` **and**
+  ``--jobs 4`` (live admission is seeded from spec content, never from
+  scheduling or the wall clock);
+* against a store, the second pass reports **100% hits** and
+  record-for-record identical results — **snapshot streams included**
+  (live replay determinism through the store codec);
+* a ``static-cap`` service is **bit-identical to** ``FleetEngine.run``
+  on its workload (the anchor contract in miniature).
+
+Exit code 0 on success, 1 with a diagnostic on any violated expectation.
+Run it from an environment where ``repro`` is importable (CI installs the
+package; locally ``PYTHONPATH=src python scripts/service_smoke.py`` works).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+
+from repro.experiments.runner import run_experiments
+from repro.fleet import FleetEngine, get_fleet
+from repro.service import ServiceEngine, ServiceSpec
+
+#: Virtual admission horizon (s) keeping the smoke serve tiny.
+UNTIL_S = 120.0
+
+
+def main() -> int:
+    """Run the smoke checks; return a process exit code."""
+    failures = []
+
+    serial = json.loads(
+        run_experiments(["serve"], scale="ci", seed=42, jobs=1, fmt="json", until=UNTIL_S)
+    )
+    parallel = json.loads(
+        run_experiments(["serve"], scale="ci", seed=42, jobs=4, fmt="json", until=UNTIL_S)
+    )
+    if serial["services"] != parallel["services"]:
+        failures.append("serve report differs between --jobs 1 and --jobs 4")
+    if not serial["services"]:
+        failures.append("serve run produced no preset rows")
+    if any(not row["snapshots"] for row in serial["services"]):
+        failures.append("a service row carries no snapshot stream")
+
+    with tempfile.TemporaryDirectory(prefix="foreco-service-smoke-") as root:
+        first = json.loads(
+            run_experiments(["serve"], scale="ci", seed=42, jobs=2, fmt="json",
+                            until=UNTIL_S, store=root)
+        )
+        second = json.loads(
+            run_experiments(["serve"], scale="ci", seed=42, jobs=2, fmt="json",
+                            until=UNTIL_S, store=root, resume=True)
+        )
+        expected = len(first["services"])
+        if (first["store"]["hits"], first["store"]["misses"]) != (0, expected):
+            failures.append(f"cold serve expected 0/{expected} hits/misses, got {first['store']}")
+        if (second["store"]["hits"], second["store"]["misses"]) != (expected, 0):
+            failures.append(f"warm serve expected 100% hits, got {second['store']}")
+        if first["services"] != second["services"]:
+            failures.append("warm service records differ from the cold run (snapshots included)")
+
+    # Anchor contract: a static-cap service admits and executes exactly the
+    # sessions the fleet engine would.
+    fleet = get_fleet("shared-ap", operators=4, arrival="poisson", arrival_rate_hz=0.3)
+    service_row = ServiceEngine().run(ServiceSpec(fleet=fleet, policy="static-cap"))
+    fleet_row = FleetEngine().run(fleet)
+    if (
+        service_row.admitted != fleet_row.admitted
+        or service_row.rmse_foreco_mm != fleet_row.rmse_foreco_mm
+        or service_row.completion_time_s != fleet_row.completion_time_s
+    ):
+        failures.append("static-cap service is not bit-identical to FleetEngine")
+
+    if failures:
+        for failure in failures:
+            print(f"SERVICE SMOKE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"service smoke ok: {len(serial['services'])} presets served to {UNTIL_S:g}s, "
+        "jobs-invariant, 100% warm hits with identical snapshot streams, "
+        "static-cap == fleet"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

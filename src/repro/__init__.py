@@ -41,9 +41,23 @@ Package layout
     Fleet-scale service simulation on top of the scenario layer: N
     concurrent operators with arrival processes, AP admission control and
     shared-backlog contention coupling (see ``docs/fleet.md``).
+``repro.service``
+    Live service mode: online admission control (static-cap,
+    utilization-threshold, forecast-aware) over fleet workloads on a
+    virtual clock, with an incremental snapshot metric stream.
 ``repro.experiments``
     One module per paper figure/table plus a CLI runner
     (``foreco-experiments``).
+
+Facade
+------
+The four entry points most users need are exposed directly on the package,
+with uniform keyword names (``store=``, ``jobs=``, ``backend=``):
+
+* :func:`run_scenario` — one scenario preset/spec to a session result;
+* :func:`run_fleet` — one fleet preset/spec to a fleet result;
+* :func:`sweep` — a list of scenario/fleet/service specs, in parallel;
+* :func:`serve` — one live-service preset/spec to a service result.
 
 Quickstart
 ----------
@@ -85,6 +99,7 @@ from .forecasting import (
 from .fleet import FleetEngine, FleetSpec, get_fleet
 from .robot import NiryoOneArm, RobotDriver
 from .scenarios import (
+    ResultStore,
     ScenarioSpec,
     SessionEngine,
     SweepExecutor,
@@ -92,6 +107,7 @@ from .scenarios import (
     get_scenario,
     scenario_names,
 )
+from .service import ServiceEngine, ServiceResult, ServiceSpec, get_service
 from .teleop import OperatorModel, RemoteController, experienced_operator, inexperienced_operator
 from .wireless import ConsecutiveLossInjector, GilbertElliottJammer, InterferenceSource, WirelessChannel
 
@@ -131,16 +147,119 @@ __all__ = [
     "WirelessChannel",
     "FleetEngine",
     "FleetSpec",
+    "ResultStore",
     "ScenarioSpec",
+    "ServiceEngine",
+    "ServiceResult",
+    "ServiceSpec",
     "SessionEngine",
     "SweepExecutor",
     "SweepResult",
     "get_fleet",
     "get_scenario",
+    "get_service",
     "scenario_names",
+    "run_scenario",
+    "run_fleet",
+    "serve",
+    "sweep",
     "quick_demo",
     "__version__",
 ]
+
+
+def _as_store(store) -> ResultStore | None:
+    """Resolve the facade's ``store=`` keyword: ``None``, a path, or a store."""
+    if store is None or isinstance(store, ResultStore):
+        return store
+    return ResultStore(str(store))
+
+
+def run_scenario(spec_or_preset, *, seed=None, store=None, jobs: int = 1):
+    """Run one scenario and return its :class:`~repro.scenarios.SessionResult`.
+
+    ``spec_or_preset`` is a :class:`ScenarioSpec` or a registered preset
+    name (see :func:`scenario_names`).  ``seed`` overrides the spec's seed;
+    ``store`` is a :class:`ResultStore` or a directory path (results are
+    loaded from it when present, written back otherwise); ``jobs`` is
+    accepted for keyword symmetry with :func:`sweep` (a single scenario
+    always runs in-process).
+
+    >>> result = run_scenario("clean")            # doctest: +SKIP
+    >>> result.improvement_factor > 1.0              # doctest: +SKIP
+    True
+    """
+    spec = get_scenario(spec_or_preset) if isinstance(spec_or_preset, str) else spec_or_preset
+    if not isinstance(spec, ScenarioSpec):
+        raise ConfigurationError("run_scenario expects a ScenarioSpec or a preset name")
+    if seed is not None:
+        spec = spec.with_(seed=int(seed))
+    executor = SweepExecutor(jobs=jobs, store=_as_store(store))
+    return executor.run([spec])[0]
+
+
+def run_fleet(spec_or_preset, *, seed=None, store=None, jobs: int = 1):
+    """Run one fleet and return its :class:`~repro.fleet.FleetResult`.
+
+    ``spec_or_preset`` is a :class:`FleetSpec` or a registered fleet preset
+    name (see :func:`repro.fleet.fleet_names`).  ``seed`` overrides the
+    per-operator template's seed; ``store``/``jobs`` behave exactly as in
+    :func:`run_scenario`.  Both fleet tiers are supported (hybrid-tier
+    specs route through the city-scale engine).
+
+    >>> result = run_fleet("shared-ap")              # doctest: +SKIP
+    >>> result.dropped_sessions >= 0                 # doctest: +SKIP
+    True
+    """
+    spec = get_fleet(spec_or_preset) if isinstance(spec_or_preset, str) else spec_or_preset
+    if not isinstance(spec, FleetSpec):
+        raise ConfigurationError("run_fleet expects a FleetSpec or a fleet preset name")
+    if seed is not None:
+        spec = spec.with_template(seed=int(seed))
+    executor = SweepExecutor(jobs=jobs, store=_as_store(store))
+    return executor.run([spec])[0]
+
+
+def sweep(specs, *, jobs: int = 1, backend: str = "thread", store=None) -> SweepResult:
+    """Run a list of specs in parallel and return the ordered result table.
+
+    ``specs`` may mix :class:`ScenarioSpec`, :class:`FleetSpec` and
+    :class:`ServiceSpec` values; each routes through the right engine.
+    ``jobs`` workers fan the list out over the ``backend`` (``"thread"`` or
+    ``"process"``); with a ``store``, already-persisted results are loaded
+    instead of recomputed and the sweep is resumable.  Results are
+    bit-identical for any worker count.
+
+    >>> table = sweep([get_scenario("clean")], jobs=4)   # doctest: +SKIP
+    >>> len(table)                                          # doctest: +SKIP
+    1
+    """
+    executor = SweepExecutor(jobs=jobs, backend=backend, store=_as_store(store))
+    return executor.run(specs)
+
+
+def serve(service_spec, *, until=None, store=None) -> ServiceResult:
+    """Run one live service and return its :class:`ServiceResult`.
+
+    ``service_spec`` is a :class:`ServiceSpec` or a registered ``service-*``
+    preset name (see :func:`repro.service.service_names`).  ``until`` bounds
+    the virtual clock in seconds — arrivals after the horizon never enter
+    the service; note the horizon is part of the spec's identity, so a
+    truncated run stores under its own address.  ``store`` behaves as in
+    :func:`run_scenario`.  Live runs are deterministic: serving the same
+    spec twice yields bit-identical results, snapshot stream included.
+
+    >>> result = serve("service-shared-ap", until=60.0)     # doctest: +SKIP
+    >>> result.drop_rate <= 1.0                             # doctest: +SKIP
+    True
+    """
+    spec = get_service(service_spec) if isinstance(service_spec, str) else service_spec
+    if not isinstance(spec, ServiceSpec):
+        raise ConfigurationError("serve expects a ServiceSpec or a service preset name")
+    if until is not None:
+        spec = spec.with_(until_s=float(until))
+    engine = ServiceEngine(store=_as_store(store))
+    return engine.run(spec)
 
 
 def quick_demo(seed: int = 0, n_repetitions: int = 4, n_robots: int = 5) -> SimulationOutcome:

@@ -52,6 +52,23 @@ classifies APs hot/cold and services the cold tail analytically — see
 ``--resume`` exactly like scenario sweeps.  Reports carry a tier section:
 per-fleet tier fields in JSON rows plus an aggregate ``fleet_tier`` block,
 and a ``tier:`` summary line in text mode.
+
+The ``serve`` keyword runs every live-service preset from
+:mod:`repro.service.registry` — fleet workloads operated under online
+admission control on the virtual clock (see ``docs/fleet.md`` "Live
+operations").  ``--policy NAME`` overrides each preset's admission policy
+(``static-cap``, ``utilization-threshold`` or ``forecast-aware``) and
+``--until SECONDS`` bounds the virtual admission horizon; serve runs honour
+``--jobs``, ``--store`` and ``--resume`` exactly like the other sweeps and
+are bit-identical for any worker count.
+
+Flags that only make sense for one keyword are rejected when that keyword
+is absent (``--fleet-tier`` without ``fleet``, ``--budget``/``--promote``
+without ``search``, ``--policy``/``--until`` without ``serve``): the
+library entry point :func:`run_experiments` raises
+:class:`~repro.errors.ConfigurationError`, which :func:`main` renders as a
+clean CLI error.  JSON reports carry a top-level ``"report_version"``
+field (:data:`REPORT_VERSION`); consumers should pin it.
 """
 
 from __future__ import annotations
@@ -72,6 +89,10 @@ from . import (
     table1_training_profile,
     table2_hardware_timing,
 )
+
+#: Version of the JSON report schema.  Bump when a section is added,
+#: removed or restructured, so downstream consumers can pin the shape.
+REPORT_VERSION = 1
 
 #: Registry of experiment name -> run callable.
 EXPERIMENTS: dict[str, Callable] = {
@@ -96,7 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=[],
         help="experiments to run: " + ", ".join(sorted(EXPERIMENTS)) + ", 'all', "
-        "'fleet' (every fleet preset), or 'search' (coverage-guided scenario search)",
+        "'fleet' (every fleet preset), 'serve' (every live-service preset), "
+        "or 'search' (coverage-guided scenario search)",
     )
     parser.add_argument("--scale", default="ci", choices=["ci", "standard", "full"],
                         help="experiment scale (default: ci)")
@@ -124,12 +146,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "'exact' forces the vectorized Lindley path, 'hybrid' the "
                         "city-scale exact/analytic tier (default: each preset's own "
                         "tier; see docs/fleet.md 'City scale')")
-    parser.add_argument("--budget", type=int, default=16, metavar="N",
+    parser.add_argument("--budget", type=int, default=None, metavar="N",
                         help="candidate evaluations for the 'search' keyword "
-                        "(default: 16)")
+                        "(default: 16; only valid with 'search')")
     parser.add_argument("--promote", action="store_true",
                         help="register the search's top discoveries as "
                         "'adversarial-*' presets (requires the 'search' keyword)")
+    parser.add_argument("--policy", default=None, metavar="NAME",
+                        help="admission-policy override for the 'serve' keyword: "
+                        "static-cap, utilization-threshold or forecast-aware "
+                        "(default: each preset's own policy)")
+    parser.add_argument("--until", type=float, default=None, metavar="SECONDS",
+                        help="virtual-time admission horizon for the 'serve' "
+                        "keyword: arrivals after this instant never enter the "
+                        "service (default: accept every arrival)")
     parser.add_argument("--format", dest="fmt", default="text", choices=["text", "json"],
                         help="report format (default: text)")
     parser.add_argument("--output", default=None, help="also write the report to this file")
@@ -146,11 +176,11 @@ def _open_store(path: str | None, resume: bool) -> ResultStore | None:
     """Materialise the ``--store``/``--resume`` flags (shared CLI semantics)."""
     if path is None:
         if resume:
-            raise SystemExit("--resume requires --store PATH (nothing to resume from)")
+            raise ConfigurationError("--resume requires --store PATH (nothing to resume from)")
         return None
     store = ResultStore(path)
     if resume and len(store) == 0:
-        raise SystemExit(
+        raise ConfigurationError(
             f"--resume: store at {path!r} has no entries for engine epoch "
             f"{store.epoch}; drop --resume for a first run (or check the path)"
         )
@@ -169,44 +199,64 @@ def run_experiments(
     resume: bool = False,
     fleet: int | None = None,
     fleet_tier: str | None = None,
-    budget: int = 16,
+    budget: int | None = None,
     promote: bool = False,
+    policy: str | None = None,
+    until: float | None = None,
 ) -> str:
-    """Run the selected experiments/scenarios/fleets/searches and return the report."""
+    """Run the selected experiments/scenarios/fleets/services and return the report.
+
+    This is the library entry point behind :func:`main`; configuration
+    misuse (unknown names, flags without their keyword) raises
+    :class:`~repro.errors.ConfigurationError` rather than exiting the
+    process, so programmatic callers can handle it.
+    """
     names = list(names)
     fleet_requested = fleet is not None or "fleet" in names
     search_requested = "search" in names
-    names = [name for name in names if name not in ("fleet", "search")]
+    serve_requested = "serve" in names
+    names = [name for name in names if name not in ("fleet", "search", "serve")]
     if any(name == "all" for name in names):
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
-        raise SystemExit(f"unknown experiment(s): {', '.join(unknown)}")
+        raise ConfigurationError(f"unknown experiment(s): {', '.join(unknown)}")
     if fleet_tier is not None and not fleet_requested:
-        raise SystemExit(
+        raise ConfigurationError(
             "--fleet-tier only applies to fleet runs: add the 'fleet' keyword or --fleet N"
         )
+    if budget is not None and not search_requested:
+        raise ConfigurationError("--budget only applies to the 'search' keyword")
     if promote and not search_requested:
-        raise SystemExit("--promote only applies to the 'search' keyword")
+        raise ConfigurationError("--promote only applies to the 'search' keyword")
+    if policy is not None and not serve_requested:
+        raise ConfigurationError("--policy only applies to the 'serve' keyword")
+    if until is not None and not serve_requested:
+        raise ConfigurationError("--until only applies to the 'serve' keyword")
     scenarios = list(scenarios or [])
-    if not names and not scenarios and not fleet_requested and not search_requested:
-        raise SystemExit(
-            "nothing to run: pass experiment names, 'fleet', 'search' and/or --scenario"
+    if (
+        not names
+        and not scenarios
+        and not fleet_requested
+        and not search_requested
+        and not serve_requested
+    ):
+        raise ConfigurationError(
+            "nothing to run: pass experiment names, 'fleet', 'serve', 'search' "
+            "and/or --scenario"
         )
     result_store = _open_store(store, resume)
 
     results = {name: EXPERIMENTS[name](scale=scale, seed=seed, jobs=jobs) for name in names}
     # One executor serves every sweep-shaped run (scenario presets, fleet
-    # presets, search probes), so they share dataset/forecaster caches.
+    # presets, service presets, search probes), so they share
+    # dataset/forecaster caches.
     executor = SweepExecutor(jobs=jobs, backend=backend, store=result_store)
     search_result = None
     if search_requested:
         from ..scenarios.search import ScenarioSearch, SearchConfig  # deferred: keeps import light
 
-        try:
-            config = SearchConfig(budget=budget, seed=seed)
-        except ConfigurationError as exc:
-            raise SystemExit(str(exc)) from exc
+        config = SearchConfig(budget=16 if budget is None else budget, seed=seed)
         search_result = ScenarioSearch(config=config, executor=executor).run()
         if promote:
             search_result.promote()
@@ -216,10 +266,7 @@ def run_experiments(
         scenarios = scenario_names()
     sweep = None
     if scenarios:
-        try:
-            specs = [get_scenario(name, scale=scale, seed=seed) for name in scenarios]
-        except ConfigurationError as exc:
-            raise SystemExit(str(exc)) from exc
+        specs = [get_scenario(name, scale=scale, seed=seed) for name in scenarios]
         sweep = executor.run(specs)
     fleet_sweep = None
     fleet_presets: list[str] = []
@@ -227,18 +274,29 @@ def run_experiments(
         from ..fleet import fleet_names, get_fleet  # deferred: keeps import light
 
         fleet_presets = fleet_names()
-        try:
-            fleet_overrides = {} if fleet_tier is None else {"tier": fleet_tier}
-            fleet_specs = [
-                get_fleet(name, operators=fleet, scale=scale, seed=seed, **fleet_overrides)
-                for name in fleet_presets
-            ]
-        except ConfigurationError as exc:
-            raise SystemExit(str(exc)) from exc
+        fleet_overrides = {} if fleet_tier is None else {"tier": fleet_tier}
+        fleet_specs = [
+            get_fleet(name, operators=fleet, scale=scale, seed=seed, **fleet_overrides)
+            for name in fleet_presets
+        ]
         fleet_sweep = executor.run(fleet_specs)
+    service_sweep = None
+    service_presets: list[str] = []
+    if serve_requested:
+        from ..service import get_service, service_names  # deferred: keeps import light
+
+        service_presets = service_names()
+        service_specs = [
+            get_service(name, policy=policy, scale=scale, seed=seed)
+            for name in service_presets
+        ]
+        if until is not None:
+            service_specs = [spec.with_(until_s=until) for spec in service_specs]
+        service_sweep = executor.run(service_specs)
 
     if fmt == "json":
         document: dict = {
+            "report_version": REPORT_VERSION,
             "scale": scale,
             "seed": seed,
             "experiments": {name: result.to_dict() for name, result in results.items()},
@@ -257,10 +315,13 @@ def run_experiments(
                 "exact_sessions": sum(row.exact_sessions for row in fleet_sweep),
                 "analytic_sessions": sum(row.analytic_sessions for row in fleet_sweep),
             }
-        if result_store is not None and (sweep is not None or fleet_sweep is not None):
+        if service_sweep is not None:
+            document["services"] = service_sweep.to_records()
+        sweeps = (sweep, fleet_sweep, service_sweep)
+        if result_store is not None and any(s is not None for s in sweeps):
             stats = result_store.stats()
-            hits = sum(s.store_hits for s in (sweep, fleet_sweep) if s is not None)
-            misses = sum(s.store_misses for s in (sweep, fleet_sweep) if s is not None)
+            hits = sum(s.store_hits for s in sweeps if s is not None)
+            misses = sum(s.store_misses for s in sweeps if s is not None)
             document["store"] = {
                 "path": str(result_store.root),
                 "epoch": result_store.epoch,
@@ -322,6 +383,31 @@ def run_experiments(
                 f"{stats.entries} entries at {result_store.root} (epoch {result_store.epoch})"
             )
         sections.append("")
+    if service_sweep is not None:
+        from ..service import service_catalog  # deferred: keeps import light
+
+        catalog = service_catalog()
+        sections.append("# service presets")
+        for name, row in zip(service_presets, service_sweep):
+            description = catalog.get(name, "")
+            if description:
+                sections.append(f"## {name} — {description}")
+            sections.append(row.to_text())
+        overrides = []
+        if policy is not None:
+            overrides.append(f"--policy {policy}")
+        if until is not None:
+            overrides.append(f"--until {until:g}")
+        if overrides:
+            sections.append(f"overrides: {' '.join(overrides)}")
+        if result_store is not None:
+            stats = result_store.stats()
+            sections.append(
+                f"store: {service_sweep.store_hits} hits / {service_sweep.store_misses} misses "
+                f"({100.0 * service_sweep.hit_fraction:.0f}% reused), "
+                f"{stats.entries} entries at {result_store.root} (epoch {result_store.epoch})"
+            )
+        sections.append("")
     return "\n".join(sections).rstrip() + "\n"
 
 
@@ -329,21 +415,26 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point used by the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    report = run_experiments(
-        args.experiments,
-        scale=args.scale,
-        seed=args.seed,
-        jobs=args.jobs,
-        fmt=args.fmt,
-        scenarios=args.scenario,
-        backend=args.backend,
-        store=args.store,
-        resume=args.resume,
-        fleet=args.fleet,
-        fleet_tier=args.fleet_tier,
-        budget=args.budget,
-        promote=args.promote,
-    )
+    try:
+        report = run_experiments(
+            args.experiments,
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            fmt=args.fmt,
+            scenarios=args.scenario,
+            backend=args.backend,
+            store=args.store,
+            resume=args.resume,
+            fleet=args.fleet,
+            fleet_tier=args.fleet_tier,
+            budget=args.budget,
+            promote=args.promote,
+            policy=args.policy,
+            until=args.until,
+        )
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from exc
     sys.stdout.write(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -38,6 +38,10 @@ _TRACKED_FIXED = (
     "src/repro/fleet/engine.py",
     "src/repro/fleet/hybrid.py",
     "src/repro/fleet/spec.py",
+    "src/repro/service/__init__.py",
+    "src/repro/service/engine.py",
+    "src/repro/service/policies.py",
+    "src/repro/service/spec.py",
 )
 
 #: Module whose ``ENGINE_EPOCH = <int>`` assignment defines the current epoch.
@@ -50,9 +54,10 @@ MANIFEST_VERSION = 1
 def tracked_files(root: Path) -> list[str]:
     """The engine-semantic modules the manifest must cover (sorted, relative).
 
-    The fixed set (scenario engine, fleet couplers and spec) plus every
-    module of :mod:`repro.wireless` — all delay samplers and channel models
-    live there, and a new sampler is engine-semantic by construction.
+    The fixed set (scenario engine, fleet couplers and spec, service
+    admission engine and policies) plus every module of
+    :mod:`repro.wireless` — all delay samplers and channel models live
+    there, and a new sampler is engine-semantic by construction.
     """
     tracked = set(_TRACKED_FIXED)
     wireless = Path(root) / "src" / "repro" / "wireless"

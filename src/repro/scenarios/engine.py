@@ -84,7 +84,10 @@ from .spec import ChannelSpec, ExperimentScale, ScenarioSpec, _jsonify, get_scal
 #: Epoch 5: the fleet record schema gained mandatory tier metadata and fleet
 #: spec hashes moved to the tier-aware canonical form, so epoch-4 fleet
 #: shards are unreadable by (and invisible to) the hybrid-tier engines.
-ENGINE_EPOCH = 5
+#: Epoch 6: the live-service layer landed — a third record kind
+#: (``"service"``: admission counters, migration, snapshot streams) joined
+#: the store, and service modules joined the epoch manifest's tracked set.
+ENGINE_EPOCH = 6
 
 
 # ------------------------------------------------------------------- datasets

@@ -4,7 +4,10 @@ A sweep is an ordered list of :class:`ScenarioSpec` values — or
 :class:`~repro.fleet.FleetSpec` values, which route through a
 :class:`~repro.fleet.HybridFleetEngine` sharing the executor's session
 engine and store (capacity-planning sweeps resume and parallelise like any
-other; the hybrid engine runs both the exact and the hybrid fleet tier).  The
+other; the hybrid engine runs both the exact and the hybrid fleet tier), or
+:class:`~repro.service.ServiceSpec` values, which route through a
+:class:`~repro.service.ServiceEngine` the same way (live-service runs are
+spec-seeded too, so they stay bit-identical across worker counts).  The
 :class:`SweepExecutor` fans the list out over a thread pool (each session is
 NumPy-bound and self-contained, and the engine's caches are lock-guarded) or,
 with ``backend="process"``, over a process pool for true multi-core grids —
@@ -162,6 +165,9 @@ _WORKER_ENGINE: SessionEngine | None = None
 #: Per-process fleet engine (wraps the worker's session engine; lazy like it).
 _WORKER_FLEET_ENGINE = None
 
+#: Per-process service engine (wraps the worker's session engine; lazy like it).
+_WORKER_SERVICE_ENGINE = None
+
 
 def _run_spec_in_worker(task: tuple[ScenarioSpec, tuple | None]):
     """Run one spec in a pool worker; ``task`` is ``(spec, store_config)``.
@@ -174,13 +180,21 @@ def _run_spec_in_worker(task: tuple[ScenarioSpec, tuple | None]):
     session engine and store (it runs both fleet tiers; exact-tier specs
     take the plain :class:`~repro.fleet.FleetEngine` path unchanged).
     """
-    global _WORKER_ENGINE, _WORKER_FLEET_ENGINE
+    global _WORKER_ENGINE, _WORKER_FLEET_ENGINE, _WORKER_SERVICE_ENGINE
     spec, store_config = task
     if _WORKER_ENGINE is None:
         store = ResultStore(*store_config) if store_config is not None else None
         _WORKER_ENGINE = SessionEngine(store=store)
     if isinstance(spec, ScenarioSpec):
         return _WORKER_ENGINE.run(spec)
+    if getattr(spec, "store_kind", None) == "service":
+        if _WORKER_SERVICE_ENGINE is None:
+            from ..service import ServiceEngine  # deferred: service imports scenarios
+
+            _WORKER_SERVICE_ENGINE = ServiceEngine(
+                sessions=_WORKER_ENGINE, store=_WORKER_ENGINE.store
+            )
+        return _WORKER_SERVICE_ENGINE.run(spec)
     if _WORKER_FLEET_ENGINE is None:
         from ..fleet import HybridFleetEngine  # deferred: fleet imports scenarios
 
@@ -256,6 +270,7 @@ class SweepExecutor:
         self.backend = backend
         self.store = store if store is not None else engine.store
         self._fleet_engine = None  # lazy FleetEngine for FleetSpec rows
+        self._service_engine = None  # lazy ServiceEngine for ServiceSpec rows
 
     def _store_config(self) -> tuple | None:
         """Picklable store parameters for worker processes."""
@@ -279,10 +294,25 @@ class SweepExecutor:
             self._fleet_engine = HybridFleetEngine(sessions=self.engine, store=self.store)
         return self._fleet_engine
 
+    def _ensure_service_engine(self):
+        """The lazily created :class:`~repro.service.ServiceEngine` for service rows.
+
+        Like the fleet engine, it shares this executor's session engine and
+        store, so live-service runs mix freely with scenario and fleet rows
+        in one resumable sweep.
+        """
+        if self._service_engine is None:
+            from ..service import ServiceEngine  # deferred: service imports scenarios
+
+            self._service_engine = ServiceEngine(sessions=self.engine, store=self.store)
+        return self._service_engine
+
     def _run_one(self, spec):
-        """Run one spec through the right engine (session or fleet)."""
+        """Run one spec through the right engine (session, fleet or service)."""
         if isinstance(spec, ScenarioSpec):
             return self.engine.run(spec)
+        if getattr(spec, "store_kind", None) == "service":
+            return self._ensure_service_engine().run(spec)
         return self._ensure_fleet_engine().run(spec)
 
     def run(self, specs: Iterable[ScenarioSpec]) -> SweepResult:
@@ -316,9 +346,16 @@ class SweepExecutor:
 
         if pending:
             pending_specs = [spec for _, spec in pending]
-            if any(not isinstance(spec, ScenarioSpec) for spec in pending_specs):
-                # Materialise the fleet engine before fanning out so worker
-                # threads never race its lazy construction.
+            # Materialise the non-scenario engines before fanning out so
+            # worker threads never race their lazy construction.
+            kinds = {
+                getattr(spec, "store_kind", None)
+                for spec in pending_specs
+                if not isinstance(spec, ScenarioSpec)
+            }
+            if "service" in kinds:
+                self._ensure_service_engine()
+            if kinds - {"service"}:
                 self._ensure_fleet_engine()
             if self.jobs == 1 or len(pending_specs) == 1:
                 computed = [self._run_one(spec) for spec in pending_specs]

@@ -1,0 +1,545 @@
+"""Service engine: run a :class:`ServiceSpec` as a live admission loop.
+
+The engine turns the fleet layer's *batch* pipeline into an *operated*
+service.  Arrivals still come from the fleet arrival processes and sessions
+still execute through the batched scenario kernel, but admission is no
+longer the fleet's fixed rule: each arrival fires as a discrete event on the
+:class:`repro.des.engine.Simulator` virtual clock, and the spec's
+:class:`~repro.service.policies.AdmissionPolicy` decides — at that virtual
+instant, seeing exactly the state an online controller would see — whether
+the session is admitted at its home AP, migrated to another AP, or dropped.
+
+Two-phase execution keeps live semantics and batch speed at once:
+
+1. **Admission phase (online).**  One DES pass per repetition schedules
+   every arrival at its virtual time and asks the policy for a placement in
+   strict event order.  Policies only ever see already-made decisions, so
+   the loop is causally faithful to a real controller.  ``until_s`` bounds
+   the virtual clock: arrivals past the horizon stay unprocessed.
+2. **Execution phase (batch).**  The admitted sessions — with their
+   possibly-migrated AP assignments — are handed to the fleet machinery:
+   per-operator channel realisations, shared-AP Lindley coupling, one
+   batched kernel pass, completion times.  The coupling reads each
+   session's ``ap`` field, so migrations change contention exactly as they
+   would live.
+
+Because every random draw is spec-derived and the virtual clock never reads
+wall time, a "live" run is replayable bit for bit — the pacing shim in
+:mod:`repro.service.pacing` exists only to *display* the snapshot stream in
+real time and never touches engine state.
+
+The incremental :class:`ServiceSnapshot` stream is derived from the same
+admitted/dropped/completed events the DES pass produced, sampled every
+``snapshot_every_slots`` command slots on the virtual clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..scenarios.store import ResultStore
+
+from ..des.engine import Event, Simulator
+from ..fleet.engine import FleetEngine, _Session, operator_channel_spec
+from ..fleet.spec import sample_arrival_times
+from ..scenarios.engine import SessionEngine, repetition_seed, sample_channel_delays_batch
+from ..scenarios.spec import ScenarioSpec
+from .policies import AdmissionPolicy, ServiceState, make_policy
+from .spec import ServiceSpec
+
+
+# ------------------------------------------------------------------ snapshots
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """One sample of the incremental live-service metric stream.
+
+    Snapshots are taken on the virtual clock every
+    ``ServiceSpec.snapshot_every_slots`` command slots and aggregate over
+    all repetitions of the service realisation.
+    """
+
+    #: Virtual time of the sample, seconds since service start.
+    time_s: float
+    #: Sessions active (arrived, not yet past their command window), summed
+    #: over repetitions.
+    active_sessions: int
+    #: Cumulative admissions up to this instant.
+    admitted: int
+    #: Cumulative drops (policy rejections) up to this instant.
+    dropped: int
+    #: Cumulative migrations (admissions at a non-home AP) up to this instant.
+    migrated: int
+    #: Sessions whose last command was delivered by this instant.
+    completed: int
+    #: Rolling p99 recovery (1st percentile over completed sessions), or
+    #: ``None`` while no session has completed yet.
+    rolling_p99_recovery: float | None
+    #: Per-AP air-time utilisation at this instant (mean over repetitions,
+    #: capped at 1).
+    ap_utilization: tuple[float, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot row."""
+        return {
+            "time_s": float(self.time_s),
+            "active_sessions": int(self.active_sessions),
+            "admitted": int(self.admitted),
+            "dropped": int(self.dropped),
+            "migrated": int(self.migrated),
+            "completed": int(self.completed),
+            "rolling_p99_recovery": (
+                None if self.rolling_p99_recovery is None else float(self.rolling_p99_recovery)
+            ),
+            "ap_utilization": [float(u) for u in self.ap_utilization],
+        }
+
+
+# -------------------------------------------------------------------- results
+@dataclass
+class ServiceResult:
+    """Uniform per-service result row produced by the engine.
+
+    Per-session metric tuples hold one entry per **admitted** session in
+    operator-major order (exactly the fleet convention) and are empty when
+    the policy admitted nothing.  ``snapshots`` is the incremental metric
+    stream, in virtual-time order.
+    """
+
+    spec: ServiceSpec
+    spec_hash: str
+    n_commands: int
+    admitted: int
+    dropped_sessions: int
+    migrated_sessions: int
+    rmse_no_forecast_mm: tuple[float, ...]
+    rmse_foreco_mm: tuple[float, ...]
+    late_fraction: tuple[float, ...]
+    recovery_fraction: tuple[float, ...]
+    completion_time_s: tuple[float, ...]
+    ap_utilization: tuple[float, ...]
+    snapshots: tuple[ServiceSnapshot, ...] = field(default=())
+
+    #: Record kind this result stores under in a ResultStore.
+    store_kind = "service"
+
+    @property
+    def offered(self) -> int:
+        """Arrivals the policy ruled on (admitted + dropped)."""
+        return self.admitted + self.dropped_sessions
+
+    @property
+    def drop_rate(self) -> float:
+        """Share of offered sessions the policy dropped (0 when none offered)."""
+        if self.offered == 0:
+            return 0.0
+        return self.dropped_sessions / self.offered
+
+    @property
+    def migration_rate(self) -> float:
+        """Share of admitted sessions placed at a non-home AP."""
+        if self.admitted == 0:
+            return 0.0
+        return self.migrated_sessions / self.admitted
+
+    @property
+    def p50_recovery(self) -> float:
+        """Median per-session recovery rate (0 when nothing was admitted)."""
+        if not self.recovery_fraction:
+            return 0.0
+        return float(np.percentile(self.recovery_fraction, 50))
+
+    @property
+    def p99_recovery(self) -> float:
+        """Recovery rate at least 99% of sessions achieve (1st percentile)."""
+        if not self.recovery_fraction:
+            return 0.0
+        return float(np.percentile(self.recovery_fraction, 1))
+
+    @property
+    def p99_completion_s(self) -> float:
+        """99th-percentile session completion time in seconds."""
+        if not self.completion_time_s:
+            return 0.0
+        return float(np.percentile(self.completion_time_s, 99))
+
+    @property
+    def mean_ap_utilization(self) -> float:
+        """AP air-time utilisation averaged over access points."""
+        if not self.ap_utilization:
+            return 0.0
+        return float(np.mean(self.ap_utilization))
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary row (snapshot stream included)."""
+        return {
+            "service": self.spec.name,
+            "spec_hash": self.spec_hash,
+            "policy": self.spec.policy,
+            "template": self.spec.template.name,
+            "channel": self.spec.channel.describe(),
+            "operators": self.spec.fleet.operators,
+            "aps": self.spec.fleet.aps,
+            "ap_capacity": self.spec.fleet.ap_capacity,
+            "arrival": self.spec.fleet.arrival,
+            "until_s": None if self.spec.until_s is None else float(self.spec.until_s),
+            "repetitions": self.spec.repetitions,
+            "n_commands": self.n_commands,
+            "admitted": self.admitted,
+            "dropped_sessions": self.dropped_sessions,
+            "migrated_sessions": self.migrated_sessions,
+            "drop_rate": self.drop_rate,
+            "migration_rate": self.migration_rate,
+            "p50_recovery": self.p50_recovery,
+            "p99_recovery": self.p99_recovery,
+            "p99_completion_s": self.p99_completion_s,
+            "ap_utilization": [float(u) for u in self.ap_utilization],
+            "snapshots": [snapshot.to_dict() for snapshot in self.snapshots],
+        }
+
+    def to_text(self) -> str:
+        """Compact multi-line operations report for one service."""
+        lines = [
+            self.spec.describe(),
+            (
+                f"  sessions: {self.admitted} admitted, {self.dropped_sessions} dropped "
+                f"(drop rate {self.drop_rate:.2f}), {self.migrated_sessions} migrated"
+            ),
+            (
+                f"  recovery: p50 {self.p50_recovery:.2f}, p99 {self.p99_recovery:.2f} | "
+                f"p99 completion {self.p99_completion_s:.1f} s | "
+                f"mean AP utilization {self.mean_ap_utilization:.2f}"
+            ),
+            f"  snapshots: {len(self.snapshots)} samples on the virtual clock",
+        ]
+        return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ admission
+@dataclass
+class _AdmissionLog:
+    """Outcome of the online admission phase for one repetition."""
+
+    admitted: list[_Session]
+    dropped_offsets: list[int]
+    migrated_offsets: list[int]
+
+
+# --------------------------------------------------------------------- engine
+class ServiceEngine:
+    """Resolves service specs into live admission runs, with caching.
+
+    Parameters
+    ----------
+    sessions:
+        The :class:`~repro.scenarios.SessionEngine` supplying datasets and
+        trained forecasters (a private one is created when omitted).
+    cache_results:
+        Keep finished :class:`ServiceResult` objects keyed by spec hash.
+    store:
+        Optional persistent :class:`~repro.scenarios.ResultStore`.  Service
+        results share the store (and its engine-epoch scheme) with session
+        and fleet results: lookups go memory -> disk -> compute, computed
+        services are written back immediately.
+    """
+
+    def __init__(
+        self,
+        sessions: SessionEngine | None = None,
+        cache_results: bool = True,
+        store: "ResultStore | None" = None,
+    ) -> None:
+        self.sessions = sessions if sessions is not None else SessionEngine()
+        # Reuse the fleet machinery (channel sampling, coupling, kernel) —
+        # caching stays at the service level, so the inner engine holds none.
+        self._fleet = FleetEngine(sessions=self.sessions, cache_results=False)
+        self.cache_results = bool(cache_results)
+        self.store = store
+        self._results: dict[str, ServiceResult] = {}
+        self._results_lock = threading.Lock()
+
+    # ------------------------------------------------------------------- run
+    def run(self, spec: ServiceSpec) -> ServiceResult:
+        """Run one service (all repetitions) through its admission policy."""
+        key = spec.spec_hash()
+        if self.cache_results:
+            with self._results_lock:
+                cached = self._results.get(key)
+            if cached is not None:
+                return cached
+        if self.store is not None:
+            stored = self.store.get(spec)
+            if stored is not None:
+                if self.cache_results:
+                    with self._results_lock:
+                        stored = self._results.setdefault(key, stored)
+                return stored
+
+        result = self._compute(spec)
+        if self.cache_results:
+            with self._results_lock:
+                result = self._results.setdefault(key, result)
+        if self.store is not None:
+            self.store.put(spec, result)
+        return result
+
+    # ----------------------------------------------------- admission (online)
+    def _serve_repetition(
+        self,
+        spec: ServiceSpec,
+        repetition: int,
+        n_commands: int,
+        policy: AdmissionPolicy,
+    ) -> _AdmissionLog:
+        """One online admission pass on the virtual clock.
+
+        Every arrival is scheduled at its arrival-process time and the
+        policy rules on it when the event fires.  Scheduling happens in
+        nondecreasing-slot order with ties broken by operator index (the
+        DES tie-break is insertion order), which reproduces the fleet
+        planner's processing order exactly — so the ``static-cap`` policy
+        admits the very same sessions :class:`FleetEngine` would.
+        """
+        fleet = spec.fleet
+        period_s = fleet.template.foreco.command_period_ms / 1000.0
+        arrivals = sample_arrival_times(fleet, repetition)
+        offsets = np.floor(arrivals / period_s).astype(int)
+        order = np.argsort(offsets, kind="stable")
+
+        state = ServiceState(spec, n_commands)
+        log = _AdmissionLog(admitted=[], dropped_offsets=[], migrated_offsets=[])
+
+        def on_arrival(sim: Simulator, event: Event) -> None:
+            operator, offset = event.payload
+            home_ap = operator % fleet.aps
+            placed = policy.admit(state, home_ap, offset)
+            if placed is None:
+                log.dropped_offsets.append(offset)
+                return
+            state.admit(placed, offset)
+            if placed != home_ap:
+                log.migrated_offsets.append(offset)
+            log.admitted.append(
+                _Session(operator=operator, repetition=repetition, offset_slots=offset, ap=placed)
+            )
+
+        sim = Simulator()
+        for operator in order:
+            operator = int(operator)
+            offset = int(offsets[operator])
+            sim.schedule_at(
+                offset * period_s,
+                Event(name=f"arrival:op{operator}", callback=on_arrival, payload=(operator, offset)),
+            )
+        # An arrival exactly at the horizon is still processed (run() stops
+        # strictly past `until`); later arrivals never enter the service.
+        sim.run(until=spec.until_s)
+        return log
+
+    # --------------------------------------------------------------- compute
+    def _compute(self, spec: ServiceSpec) -> ServiceResult:
+        """Admit online, then execute the admitted sessions in one batch."""
+        fleet = spec.fleet
+        template = fleet.template
+        commands = self.sessions.test_commands(template)
+        n_commands = int(commands.shape[0])
+        period = float(template.foreco.command_period_ms)
+        policy = make_policy(spec)
+
+        # 1. Online admission, one DES pass per repetition.
+        plans: list[list[_Session]] = []
+        dropped = 0
+        migrated = 0
+        admitted_offsets: list[int] = []
+        dropped_offsets: list[int] = []
+        migrated_offsets: list[int] = []
+        for repetition in range(template.repetitions):
+            log = self._serve_repetition(spec, repetition, n_commands, policy)
+            log.admitted.sort(key=lambda session: session.operator)
+            plans.append(log.admitted)
+            dropped += len(log.dropped_offsets)
+            migrated += len(log.migrated_offsets)
+            admitted_offsets.extend(session.offset_slots for session in log.admitted)
+            dropped_offsets.extend(log.dropped_offsets)
+            migrated_offsets.extend(log.migrated_offsets)
+
+        sessions_flat: list[_Session] = sorted(
+            (session for admitted in plans for session in admitted),
+            key=lambda session: (session.operator, session.repetition),
+        )
+        for flat, session in enumerate(sessions_flat):
+            session.flat = flat
+
+        if not sessions_flat:
+            # A policy (or a tiny horizon) may admit nothing; the result is
+            # still well-formed, with empty metric tuples and an all-idle
+            # utilisation profile.
+            return ServiceResult(
+                spec=spec,
+                spec_hash=spec.spec_hash(),
+                n_commands=n_commands,
+                admitted=0,
+                dropped_sessions=dropped,
+                migrated_sessions=migrated,
+                rmse_no_forecast_mm=(),
+                rmse_foreco_mm=(),
+                late_fraction=(),
+                recovery_fraction=(),
+                completion_time_s=(),
+                ap_utilization=tuple(0.0 for _ in range(fleet.aps)),
+                snapshots=self._snapshots(
+                    spec, n_commands, [], (), admitted_offsets, dropped_offsets, migrated_offsets
+                ),
+            )
+
+        # 2. Base channel realisations — identical to the fleet engine's, so
+        # a static-cap service is bit-comparable to its fleet counterpart.
+        operator_specs: dict[int, ScenarioSpec] = {}
+        seeds = []
+        for session in sessions_flat:
+            op_spec = operator_specs.get(session.operator)
+            if op_spec is None:
+                op_spec = operator_channel_spec(fleet, session.operator)
+                operator_specs[session.operator] = op_spec
+            seeds.append(repetition_seed(op_spec, session.repetition))
+        base = sample_channel_delays_batch(
+            template.channel, n_commands, seeds, command_period_ms=period
+        )
+
+        # 3. Couple through the shared per-AP backlog (migrated assignments
+        # included — _couple reads each session's `ap`), then one batched
+        # kernel pass and completion times.
+        coupled, utilization = self._fleet._couple(fleet, plans, base, n_commands, period)
+        outcomes = self._fleet._simulate(template, commands, coupled)
+        completion = FleetEngine._completion_times(sessions_flat, coupled, n_commands, period)
+
+        return ServiceResult(
+            spec=spec,
+            spec_hash=spec.spec_hash(),
+            n_commands=n_commands,
+            admitted=len(sessions_flat),
+            dropped_sessions=dropped,
+            migrated_sessions=migrated,
+            rmse_no_forecast_mm=tuple(o.rmse_no_forecast_mm for o in outcomes),
+            rmse_foreco_mm=tuple(o.rmse_foreco_mm for o in outcomes),
+            late_fraction=tuple(o.late_fraction for o in outcomes),
+            recovery_fraction=tuple(o.recovery_fraction for o in outcomes),
+            completion_time_s=completion,
+            ap_utilization=utilization,
+            snapshots=self._snapshots(
+                spec,
+                n_commands,
+                sessions_flat,
+                tuple(
+                    (completion[i], outcomes[i].recovery_fraction)
+                    for i in range(len(sessions_flat))
+                ),
+                admitted_offsets,
+                dropped_offsets,
+                migrated_offsets,
+            ),
+        )
+
+    # -------------------------------------------------------------- snapshots
+    @staticmethod
+    def _snapshots(
+        spec: ServiceSpec,
+        n_commands: int,
+        sessions_flat: list[_Session],
+        completions: tuple[tuple[float, float], ...],
+        admitted_offsets: list[int],
+        dropped_offsets: list[int],
+        migrated_offsets: list[int],
+    ) -> tuple[ServiceSnapshot, ...]:
+        """Derive the incremental metric stream from the admission record.
+
+        A pure function of spec-derived data — sampling the stream never
+        perturbs results, and replaying a run reproduces it bit for bit.
+        """
+        fleet = spec.fleet
+        period_s = fleet.template.foreco.command_period_ms / 1000.0
+        interval_slots = spec.snapshot_every_slots
+        session_load = float(fleet.ap_service_ms) / float(
+            fleet.template.foreco.command_period_ms
+        )
+
+        if sessions_flat:
+            horizon_slots = max(s.offset_slots for s in sessions_flat) + n_commands
+        elif admitted_offsets or dropped_offsets:
+            horizon_slots = max(admitted_offsets + dropped_offsets) + n_commands
+        else:
+            horizon_slots = n_commands
+        sample_slots = list(range(0, horizon_slots + 1, interval_slots))
+        if sample_slots[-1] != horizon_slots:
+            sample_slots.append(horizon_slots)
+
+        admitted_sorted = np.sort(np.asarray(admitted_offsets, dtype=np.int64))
+        dropped_sorted = np.sort(np.asarray(dropped_offsets, dtype=np.int64))
+        migrated_sorted = np.sort(np.asarray(migrated_offsets, dtype=np.int64))
+        completion_times = np.sort(np.asarray([c[0] for c in completions], dtype=np.float64))
+        # Recovery fractions ordered by completion time, for the rolling p99.
+        recovery_by_completion = np.asarray(
+            [c[1] for c in sorted(completions, key=lambda c: c[0])], dtype=np.float64
+        )
+
+        # Per-AP active-session windows, per repetition.
+        repetitions = fleet.template.repetitions
+        ap_starts: list[list[list[int]]] = [
+            [[] for _ in range(fleet.aps)] for _ in range(repetitions)
+        ]
+        for session in sessions_flat:
+            ap_starts[session.repetition][session.ap].append(session.offset_slots)
+        ap_sorted = [
+            [np.sort(np.asarray(starts, dtype=np.int64)) for starts in per_rep]
+            for per_rep in ap_starts
+        ]
+
+        snapshots = []
+        for slot in sample_slots:
+            time_s = slot * period_s
+            active = 0
+            per_ap = np.zeros(fleet.aps, dtype=np.float64)
+            for repetition in range(repetitions):
+                for ap in range(fleet.aps):
+                    starts = ap_sorted[repetition][ap]
+                    ap_active = int(
+                        np.searchsorted(starts, slot, side="right")
+                        - np.searchsorted(starts, slot - n_commands, side="right")
+                    )
+                    active += ap_active
+                    per_ap[ap] += min(1.0, ap_active * session_load)
+            per_ap /= max(1, repetitions)
+            completed = int(np.searchsorted(completion_times, time_s, side="right"))
+            rolling = (
+                float(np.percentile(recovery_by_completion[:completed], 1))
+                if completed > 0
+                else None
+            )
+            snapshots.append(
+                ServiceSnapshot(
+                    time_s=float(time_s),
+                    active_sessions=active,
+                    admitted=int(np.searchsorted(admitted_sorted, slot, side="right")),
+                    dropped=int(np.searchsorted(dropped_sorted, slot, side="right")),
+                    migrated=int(np.searchsorted(migrated_sorted, slot, side="right")),
+                    completed=completed,
+                    rolling_p99_recovery=rolling,
+                    ap_utilization=tuple(float(u) for u in per_ap),
+                )
+            )
+        return tuple(snapshots)
+
+    # --------------------------------------------------------------- caching
+    def cached_result(self, spec: ServiceSpec) -> ServiceResult | None:
+        """The cached result for this service, if any."""
+        with self._results_lock:
+            return self._results.get(spec.spec_hash())
+
+    def clear(self) -> None:
+        """Drop the service-result cache (the session engine keeps its own)."""
+        with self._results_lock:
+            self._results.clear()

@@ -1,0 +1,49 @@
+"""Real-time pacing shim for the live-service snapshot stream.
+
+The service engine is **virtual-time only**: results, seeds and the
+snapshot stream never depend on wall time (that is what makes live runs
+replayable).  This module is the one deliberate exception — a display-layer
+helper that *replays* an already-computed snapshot stream against the wall
+clock so a human can watch a service run "live".  It sits outside the
+engine-semantic surface on purpose: nothing here feeds back into
+simulation state, results or store records — and the clock is only ever
+touched through the injectable ``sleep``/``clock`` callables, so the
+module stays clean under the replint TIME001 wall-clock ban without a
+baseline exception.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ServiceSnapshot
+
+
+def pace_snapshots(
+    snapshots: tuple["ServiceSnapshot", ...],
+    speedup: float = 1.0,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> Iterator["ServiceSnapshot"]:
+    """Yield snapshots on the wall clock, scaled by ``speedup``.
+
+    Each snapshot is yielded when wall time (divided by ``speedup``) reaches
+    its virtual ``time_s``.  With ``speedup=60`` one virtual minute passes
+    per wall second.  ``sleep`` and ``clock`` are injectable so tests can
+    drive the pacing without real waiting.
+
+    The iterator is a pure view: it never mutates the snapshots and the
+    underlying :class:`~repro.service.engine.ServiceResult` is identical
+    whether or not the stream is paced.
+    """
+    if speedup <= 0:
+        speedup = 1.0
+    start = clock()
+    for snapshot in snapshots:
+        due = start + snapshot.time_s / speedup
+        remaining = due - clock()
+        if remaining > 0:
+            sleep(remaining)
+        yield snapshot

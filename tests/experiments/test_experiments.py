@@ -125,9 +125,9 @@ def test_runner_registry_and_report():
     assert set(EXPERIMENTS) == {"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2"}
     report = run_experiments(["fig6"], scale="ci", seed=42)
     assert "Fig. 6" in report
-    with pytest.raises(SystemExit):
+    with pytest.raises(ConfigurationError):
         run_experiments(["fig99"], scale="ci", seed=42)
-    with pytest.raises(SystemExit):
+    with pytest.raises(ConfigurationError):
         run_experiments([], scale="ci", seed=42)  # nothing selected
 
 

@@ -1,4 +1,10 @@
-"""Runner CLI error paths: clean one-line exits, never tracebacks."""
+"""Runner error paths: typed ConfigurationError from the library, clean CLI exits.
+
+:func:`repro.experiments.runner.run_experiments` is the library entry point:
+configuration misuse raises :class:`repro.errors.ConfigurationError` so
+programmatic callers can handle it.  :func:`repro.experiments.runner.main`
+wraps that into a one-line ``SystemExit`` — never a traceback.
+"""
 
 from __future__ import annotations
 
@@ -9,61 +15,89 @@ from repro.experiments.runner import build_parser, main, run_experiments
 from repro.scenarios import SweepExecutor
 
 
-def _exit_message(excinfo) -> str:
+def _message(excinfo) -> str:
     return str(excinfo.value)
 
 
 def test_unknown_experiment_keyword():
-    with pytest.raises(SystemExit) as excinfo:
+    with pytest.raises(ConfigurationError) as excinfo:
         run_experiments(["bogus"], scale="ci", seed=1)
-    assert "unknown experiment" in _exit_message(excinfo)
-    assert "bogus" in _exit_message(excinfo)
+    assert "unknown experiment" in _message(excinfo)
+    assert "bogus" in _message(excinfo)
 
 
 def test_unknown_scenario_name():
-    with pytest.raises(SystemExit) as excinfo:
+    with pytest.raises(ConfigurationError) as excinfo:
         run_experiments([], scale="ci", seed=1, scenarios=["not-a-preset"])
-    assert "unknown scenario" in _exit_message(excinfo)
+    assert "unknown scenario" in _message(excinfo)
 
 
 def test_fleet_tier_requires_a_fleet_run():
-    with pytest.raises(SystemExit) as excinfo:
+    with pytest.raises(ConfigurationError) as excinfo:
         run_experiments([], scale="ci", seed=1, scenarios=["clean"], fleet_tier="hybrid")
-    assert "--fleet-tier" in _exit_message(excinfo)
-    assert "fleet" in _exit_message(excinfo)
+    assert "--fleet-tier" in _message(excinfo)
+    assert "fleet" in _message(excinfo)
+
+
+def test_budget_requires_search_keyword():
+    with pytest.raises(ConfigurationError) as excinfo:
+        run_experiments([], scale="ci", seed=1, scenarios=["clean"], budget=8)
+    assert "--budget" in _message(excinfo)
+    assert "search" in _message(excinfo)
+
+
+def test_policy_requires_serve_keyword():
+    with pytest.raises(ConfigurationError) as excinfo:
+        run_experiments([], scale="ci", seed=1, scenarios=["clean"], policy="static-cap")
+    assert "--policy" in _message(excinfo)
+    assert "serve" in _message(excinfo)
+
+
+def test_until_requires_serve_keyword():
+    with pytest.raises(ConfigurationError) as excinfo:
+        run_experiments(["fleet"], scale="ci", seed=1, fleet=2, until=30.0)
+    assert "--until" in _message(excinfo)
+    assert "serve" in _message(excinfo)
 
 
 def test_resume_requires_store():
-    with pytest.raises(SystemExit) as excinfo:
+    with pytest.raises(ConfigurationError) as excinfo:
         run_experiments([], scale="ci", seed=1, scenarios=["clean"], resume=True)
-    assert "--resume requires --store" in _exit_message(excinfo)
+    assert "--resume requires --store" in _message(excinfo)
 
 
 def test_resume_refuses_empty_store(tmp_path):
-    with pytest.raises(SystemExit) as excinfo:
+    with pytest.raises(ConfigurationError) as excinfo:
         run_experiments(
             [], scale="ci", seed=1, scenarios=["clean"],
             store=str(tmp_path / "empty"), resume=True,
         )
-    assert "no entries" in _exit_message(excinfo)
+    assert "no entries" in _message(excinfo)
 
 
 def test_promote_requires_search_keyword():
-    with pytest.raises(SystemExit) as excinfo:
+    with pytest.raises(ConfigurationError) as excinfo:
         run_experiments([], scale="ci", seed=1, scenarios=["clean"], promote=True)
-    assert "--promote" in _exit_message(excinfo)
+    assert "--promote" in _message(excinfo)
 
 
 def test_malformed_search_budget():
-    with pytest.raises(SystemExit) as excinfo:
+    with pytest.raises(ConfigurationError) as excinfo:
         run_experiments(["search"], scale="ci", seed=1, budget=0)
-    assert "budget" in _exit_message(excinfo)
+    assert "budget" in _message(excinfo)
+
+
+def test_unknown_service_policy():
+    with pytest.raises(ConfigurationError) as excinfo:
+        run_experiments(["serve"], scale="ci", seed=1, policy="round-robin")
+    assert "policy" in _message(excinfo)
 
 
 def test_nothing_to_run():
-    with pytest.raises(SystemExit) as excinfo:
+    with pytest.raises(ConfigurationError) as excinfo:
         run_experiments([], scale="ci", seed=1)
-    assert "nothing to run" in _exit_message(excinfo)
+    assert "nothing to run" in _message(excinfo)
+    assert "serve" in _message(excinfo)
 
 
 def test_malformed_executor_values_raise_configuration_error():
@@ -72,9 +106,15 @@ def test_malformed_executor_values_raise_configuration_error():
     assert "unknown sweep backend" in str(excinfo.value)
 
 
-def test_main_exits_cleanly_on_bad_keyword(capsys):
-    with pytest.raises(SystemExit):
+def test_main_exits_cleanly_on_misuse(capsys):
+    # main() renders ConfigurationError as a clean SystemExit, not a traceback.
+    with pytest.raises(SystemExit) as excinfo:
         main(["bogus"])
+    assert not isinstance(excinfo.value, ConfigurationError)
+    assert "unknown experiment" in str(excinfo.value)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--policy", "static-cap"])
+    assert "--policy" in str(excinfo.value)
     # argparse-level misuse (bad choice values) also exits, not raises.
     with pytest.raises(SystemExit):
         build_parser().parse_args(["--fleet-tier", "warp"])

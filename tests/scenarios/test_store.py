@@ -334,9 +334,9 @@ def test_runner_store_and_resume_flags(tmp_path):
     text = run_experiments([], "ci", 42, fmt="text", scenarios=["bursty-loss"], store=root)
     assert "store: 1 hits / 0 misses (100% reused)" in text
 
-    with pytest.raises(SystemExit):  # --resume without --store
+    with pytest.raises(ConfigurationError):  # --resume without --store
         run_experiments([], "ci", 42, fmt="json", scenarios=["bursty-loss"], resume=True)
-    with pytest.raises(SystemExit):  # --resume against an empty store
+    with pytest.raises(ConfigurationError):  # --resume against an empty store
         run_experiments(
             [], "ci", 42, fmt="json", scenarios=["bursty-loss"],
             store=str(tmp_path / "typo"), resume=True,

@@ -1,0 +1,47 @@
+"""SweepExecutor routing for mixed scenario/fleet/service sweeps.
+
+The executor dispatches rows by ``store_kind``: plain scenario specs go to
+the session engine, ``FleetSpec`` values to the (hybrid-capable) fleet
+engine and ``ServiceSpec`` values to the live-service engine — all three
+sharing one session engine and one store, in either backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FleetResult, get_fleet
+from repro.scenarios import ResultStore, SessionResult, SweepExecutor, get_scenario
+from repro.service import ServiceResult, get_service
+
+
+def _service_spec():
+    return get_service("service-shared-ap").with_template(scale="ci").with_(until_s=60.0)
+
+
+def test_mixed_sweep_routes_by_store_kind(tmp_path):
+    specs = [
+        get_scenario("clean"),
+        get_fleet("shared-ap", operators=2).with_template(scale="ci"),
+        _service_spec(),
+    ]
+    store = ResultStore(tmp_path / "store")
+    sweep = SweepExecutor(jobs=2, store=store).run(specs)
+    assert isinstance(sweep[0], SessionResult)
+    assert isinstance(sweep[1], FleetResult)
+    assert isinstance(sweep[2], ServiceResult)
+    assert sweep.store_misses == 3
+    # A warm rerun resolves every kind from the shared store.
+    warm = SweepExecutor(jobs=2, store=store).run(specs)
+    assert warm.store_hits == 3 and warm.store_misses == 0
+    for cold_row, warm_row in zip(sweep, warm):
+        assert cold_row.to_dict() == warm_row.to_dict()
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_service_rows_match_across_backends_and_jobs(backend):
+    specs = [_service_spec(), _service_spec().with_(policy="utilization-threshold")]
+    serial = SweepExecutor(jobs=1).run(specs)
+    fanned = SweepExecutor(jobs=2, backend=backend).run(specs)
+    for row_s, row_f in zip(serial, fanned):
+        assert row_s.to_dict() == row_f.to_dict()

@@ -1,0 +1,96 @@
+"""Policy-comparison experiment: shared workload, deterministic pinned ranking."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import (
+    DEFAULT_RECOVERY_SLO,
+    POLICY_KINDS,
+    compare_policies,
+    get_service,
+    policy_score,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    # The policy-comparison anchor: the shared-ap-derived preset at CI
+    # scale, densified to four repetitions so arrival clusters overload a
+    # home AP while another still has slack (the regime where migration
+    # pays off).
+    spec = get_service("service-shared-ap").with_template(scale="ci", repetitions=4)
+    return compare_policies(spec)
+
+
+def test_every_policy_runs_on_the_identical_workload(comparison):
+    assert set(comparison.results) == set(POLICY_KINDS)
+    identities = {p: r.spec.workload_identity() for p, r in comparison.results.items()}
+    assert len({json.dumps(i, sort_keys=True) for i in identities.values()}) == 1
+    offered = {r.offered for r in comparison.results.values()}
+    assert len(offered) == 1
+
+
+def test_pinned_ranking_on_the_anchor_preset(comparison):
+    """The balancing policies beat static-cap by migrating off crowded APs.
+
+    This ranking is pinned: a change here means the admission semantics,
+    the arrival coupling or the preset itself moved.
+    """
+    assert comparison.ranking == ("utilization-threshold", "forecast-aware", "static-cap")
+    assert comparison.best == "utilization-threshold"
+    static = comparison.results["static-cap"]
+    threshold = comparison.results["utilization-threshold"]
+    assert threshold.dropped_sessions < static.dropped_sessions
+    assert threshold.migrated_sessions > 0
+    assert static.migrated_sessions == 0
+
+
+def test_scores_are_ascending_and_reproducible(comparison):
+    scores = [comparison.scores[p] for p in comparison.ranking]
+    assert scores == sorted(scores)
+    for policy, result in comparison.results.items():
+        assert comparison.scores[policy] == pytest.approx(
+            policy_score(result, DEFAULT_RECOVERY_SLO)
+        )
+
+
+def test_comparison_is_deterministic(comparison):
+    spec = get_service("service-shared-ap").with_template(scale="ci", repetitions=4)
+    again = compare_policies(spec)
+    assert again.ranking == comparison.ranking
+    assert again.to_dict() == comparison.to_dict()
+
+
+def test_tie_breaks_follow_canonical_policy_order():
+    # A horizon before any arrival empties every run: all scores tie and
+    # the ranking must fall back to canonical policy order.
+    spec = get_service("service-shared-ap").with_template(scale="ci").with_(until_s=1e-6)
+    comparison = compare_policies(spec)
+    assert comparison.ranking == POLICY_KINDS
+    assert len(set(comparison.scores.values())) == 1
+
+
+def test_renderings(comparison):
+    text = comparison.to_text()
+    assert "policy ranking" in text
+    for policy in POLICY_KINDS:
+        assert policy in text
+    doc = comparison.to_dict()
+    assert doc["ranking"] == list(comparison.ranking)
+    json.dumps(doc, sort_keys=True, allow_nan=False)
+    assert set(doc["policies"]) == set(POLICY_KINDS)
+
+
+def test_accepts_preset_name_and_store(tmp_path):
+    from repro.scenarios import ResultStore
+
+    spec_name = "service-shared-ap"
+    store = ResultStore(tmp_path / "store")
+    spec = get_service(spec_name).with_template(scale="ci").with_(until_s=1e-6)
+    first = compare_policies(spec, store=store)
+    warm = compare_policies(spec, store=store)
+    assert warm.to_dict() == first.to_dict()
+    assert len(store) == len(POLICY_KINDS)

@@ -1,0 +1,181 @@
+"""ServiceEngine: live replay determinism, fleet anchoring, store round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.fleet import FleetEngine, get_fleet
+from repro.scenarios import ResultStore, SweepExecutor
+from repro.service import ServiceEngine, ServiceResult, ServiceSpec, get_service, pace_snapshots
+
+
+@pytest.fixture(scope="module")
+def spec() -> ServiceSpec:
+    return get_service("service-shared-ap").with_template(scale="ci")
+
+
+@pytest.fixture(scope="module")
+def result(spec) -> ServiceResult:
+    return ServiceEngine().run(spec)
+
+
+class TestDeterminism:
+    def test_two_invocations_are_bit_identical(self, spec, result):
+        again = ServiceEngine().run(spec)
+        assert again.to_dict() == result.to_dict()
+        assert again.snapshots == result.snapshots
+
+    def test_jobs_do_not_change_results(self, spec):
+        """Serving through 1 or 4 sweep workers is bit-identical."""
+        specs = [spec.with_(policy=p) for p in ("static-cap", "utilization-threshold")]
+        serial = SweepExecutor(jobs=1).run(specs)
+        fanned = SweepExecutor(jobs=4).run(specs)
+        for a, b in zip(serial, fanned):
+            assert a.to_dict() == b.to_dict()
+
+    def test_engine_memory_cache(self, spec):
+        engine = ServiceEngine()
+        assert engine.run(spec) is engine.run(spec)
+        engine.clear()
+        assert engine.cached_result(spec) is None
+
+
+class TestFleetAnchor:
+    def test_static_cap_reproduces_fleet_admissions(self):
+        """The static-cap service is the fleet engine's run, bit for bit."""
+        fleet = get_fleet("shared-ap", operators=6, arrival="poisson",
+                          arrival_rate_hz=0.3).with_template(scale="ci")
+        service = ServiceEngine().run(ServiceSpec(fleet=fleet, policy="static-cap"))
+        baseline = FleetEngine().run(fleet)
+        assert service.admitted == baseline.admitted
+        assert service.dropped_sessions == baseline.dropped_sessions
+        assert service.migrated_sessions == 0
+        assert service.rmse_foreco_mm == baseline.rmse_foreco_mm
+        assert service.completion_time_s == baseline.completion_time_s
+        assert service.recovery_fraction == baseline.recovery_fraction
+        assert np.allclose(service.ap_utilization, baseline.ap_utilization)
+
+
+class TestAccounting:
+    def test_session_conservation(self, result):
+        assert result.offered == result.spec.fleet.operators * result.spec.repetitions
+        assert result.admitted + result.dropped_sessions == result.offered
+        assert 0 <= result.migrated_sessions <= result.admitted
+        assert result.drop_rate == pytest.approx(result.dropped_sessions / result.offered)
+        assert len(result.recovery_fraction) == result.admitted
+        assert len(result.completion_time_s) == result.admitted
+        assert len(result.ap_utilization) == result.spec.fleet.aps
+
+    def test_balancing_policy_migrates_on_the_anchor_preset(self, spec):
+        """The anchor workload actually exercises migration (not a no-op knob)."""
+        crowded = spec.with_template(repetitions=4)
+        threshold = ServiceEngine().run(crowded.with_(policy="utilization-threshold"))
+        static = ServiceEngine().run(crowded.with_(policy="static-cap"))
+        assert threshold.migrated_sessions > 0
+        assert static.migrated_sessions == 0
+        assert threshold.dropped_sessions < static.dropped_sessions
+
+    def test_until_truncates_the_admission_horizon(self, spec, result):
+        truncated = ServiceEngine().run(spec.with_(until_s=1e-6))
+        # Arrivals past the horizon never enter the service: they are
+        # neither admitted nor dropped, so nothing was offered at all.
+        assert truncated.admitted == 0
+        assert truncated.dropped_sessions == 0
+        assert truncated.offered == 0
+        assert truncated.drop_rate == 0.0
+        assert truncated.p99_recovery == 0.0
+        assert all(u == 0.0 for u in truncated.ap_utilization)
+        # A horizon past every arrival changes nothing but the spec hash.
+        unbounded = ServiceEngine().run(spec.with_(until_s=1e6))
+        assert unbounded.admitted == result.admitted
+        assert unbounded.recovery_fraction == result.recovery_fraction
+
+
+class TestSnapshots:
+    def test_stream_is_monotone_and_consistent(self, spec, result):
+        snaps = result.snapshots
+        assert len(snaps) >= 2
+        times = [s.time_s for s in snaps]
+        assert times == sorted(times)
+        for s in snaps:
+            assert s.admitted + s.dropped <= result.offered
+            assert s.migrated <= s.admitted
+            assert 0 <= s.completed <= s.admitted
+            assert len(s.ap_utilization) == spec.fleet.aps
+        final = snaps[-1]
+        assert final.admitted == result.admitted
+        assert final.dropped == result.dropped_sessions
+        assert final.migrated == result.migrated_sessions
+        assert final.completed == result.admitted
+        assert final.active_sessions == 0
+        assert final.rolling_p99_recovery == pytest.approx(result.p99_recovery)
+
+    def test_cadence_follows_snapshot_every_slots(self, spec):
+        coarse = ServiceEngine().run(spec.with_(snapshot_every_slots=200))
+        fine = ServiceEngine().run(spec.with_(snapshot_every_slots=25))
+        assert len(fine.snapshots) > len(coarse.snapshots)
+
+    def test_pacing_is_a_pure_display_shim(self, result):
+        sleeps: list[float] = []
+        clock = iter(float(i) for i in range(10_000))
+        paced = list(
+            pace_snapshots(
+                result.snapshots[:4],
+                speedup=1000.0,
+                sleep=sleeps.append,
+                clock=lambda: next(clock),
+            )
+        )
+        assert paced == list(result.snapshots[:4])
+        assert all(s >= 0.0 for s in sleeps)
+
+
+class TestStore:
+    def test_round_trip_is_bit_identical(self, spec, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first = ServiceEngine(store=store).run(spec)
+        fresh = ServiceEngine(store=store)
+        again = fresh.run(spec)
+        assert again.to_dict() == first.to_dict()
+        assert again.snapshots == first.snapshots
+        assert again.spec == spec
+
+    def test_empty_service_round_trips(self, spec, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        empty_spec = spec.with_(until_s=1e-6)
+        first = ServiceEngine(store=store).run(empty_spec)
+        again = ServiceEngine(store=store).run(empty_spec)
+        assert first.admitted == 0
+        assert again.to_dict() == first.to_dict()
+
+    def test_sweep_executor_routes_service_specs(self, spec, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        specs = [spec, spec.with_(policy="utilization-threshold")]
+        cold = SweepExecutor(jobs=2, store=store).run(specs)
+        assert cold.store_misses == 2
+        warm = SweepExecutor(jobs=2, store=store).run(specs)
+        assert warm.store_hits == 2 and warm.store_misses == 0
+        for a, b in zip(cold, warm):
+            assert a.to_dict() == b.to_dict()
+
+
+class TestFacade:
+    def test_serve_accepts_spec_and_preset(self, spec, result):
+        by_spec = repro.serve(spec)
+        assert by_spec.to_dict() == result.to_dict()
+        by_name = repro.serve("service-shared-ap")
+        assert by_name.spec.policy == "static-cap"
+
+    def test_serve_until_and_store(self, spec, tmp_path):
+        first = repro.serve(spec, until=1e-6, store=tmp_path / "store")
+        assert first.admitted == 0
+        again = repro.serve(spec, until=1e-6, store=tmp_path / "store")
+        assert again.to_dict() == first.to_dict()
+
+    def test_text_rendering_mentions_the_essentials(self, result):
+        text = result.to_text()
+        assert "admitted" in text
+        assert "drop rate" in text
+        assert "snapshots" in text
