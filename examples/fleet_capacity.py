@@ -2,24 +2,30 @@
 """Capacity planning with the fleet simulator: find the AP's operator knee.
 
 How many operators can one access point serve before the service degrades?
-This walkthrough sweeps the operator population of the ``shared-ap`` fleet
-preset (everyone keys up at once — the worst case) and reads the knee off
-the service-level metrics:
+This used to be a manual grid sweep; it is now one call into the SLO-driven
+capacity planner::
 
-* **AP utilisation** climbs with N until the air-time budget saturates;
-* past the knee the shared backlog grows without bound, the **late
-  fraction** goes to 1 and **p99 completion** takes off;
-* the capacity verdict is the largest N that stays inside the SLO.
+    plan = repro.plan("plan-shared-ap")
 
-Because fleet specs are hashable values, the sweep runs through the
-ordinary :func:`repro.sweep` facade — add ``store="path/"`` and re-runs
-(or grown sweeps) compute only what is new, exactly like scenario sweeps.
+The planner (:mod:`repro.fleet.plan`) warm-starts from the analytic
+air-time bracket, probes real fleet evaluations around it by dual-gradient
+ascent on the Lagrangian of (minimize capacity s.t. SLO), and reports the
+chosen capacity, the predicted metrics at the knee, the probe ledger and a
+convergence trace.  Because every probe memoizes through the result store,
+add ``store="path/"`` and re-planning (or replanning with tighter gates
+over the same fleet) computes only what is new.
+
+The old population sweep is kept below as an independent **cross-check**:
+the largest population inside the SLO must agree with the planner's knee —
+the admission arithmetic makes ``N`` operators at capacity ``N`` the same
+contention problem as the planner's capacity-``N`` probe.
 
 Run it with::
 
     PYTHONPATH=src python examples/fleet_capacity.py
 
-See ``docs/fleet.md`` for the fleet model and the metric definitions.
+See ``docs/fleet.md`` ("Capacity planning") for the method and the SLO
+semantics.
 """
 
 from __future__ import annotations
@@ -27,16 +33,16 @@ from __future__ import annotations
 import repro
 from repro.fleet import get_fleet
 
-#: Operator populations to probe (the preset AP saturates inside this range).
+#: Operator populations the cross-check sweeps (covers the knee region).
 POPULATIONS = (1, 2, 3, 4, 5, 6)
 
-#: Service-level objectives for the capacity verdict.
+#: Service-level objectives (the ``plan-shared-ap`` preset uses the same).
 SLO_LATE_FRACTION = 0.20  # at most 20% of commands late/lost on average
 SLO_P99_RECOVERY = 0.80  # 99% of sessions recover >= 80% of missing slots
 
 
-def main() -> None:
-    """Sweep the population, print the table, state the capacity verdict."""
+def sweep_knee() -> int:
+    """The legacy grid sweep: largest population that stays inside the SLO."""
     fleets = [
         get_fleet("shared-ap", operators=n).with_(name=f"shared-ap-{n}", ap_capacity=max(POPULATIONS))
         for n in POPULATIONS
@@ -47,7 +53,7 @@ def main() -> None:
         f"{'ops':>4s} {'util':>6s} {'late':>6s} {'p99 rec':>8s} "
         f"{'p50 compl':>10s} {'p99 compl':>10s} {'FoReCo RMSE':>12s}"
     )
-    print("shared-ap capacity sweep (one AP, simultaneous arrivals)")
+    print("cross-check: shared-ap population sweep (one AP, simultaneous arrivals)")
     print(header)
     print("-" * len(header))
     capacity = 0
@@ -65,16 +71,35 @@ def main() -> None:
             f"{row.p99_recovery:>8.2f} {row.p50_completion_s:>9.1f}s {row.p99_completion_s:>9.1f}s "
             f"{row.mean_rmse_foreco_mm:>10.2f}mm{marker}"
         )
+    return capacity
 
+
+def main() -> None:
+    """Plan the capacity, print the report, cross-check against the sweep."""
+    plan = repro.plan("plan-shared-ap")
+    print(plan.to_text())
     print()
-    budget = fleets[0].template.foreco.command_period_ms / fleets[0].ap_service_ms
+
+    spec = plan.spec
+    budget = spec.fleet.template.foreco.command_period_ms / spec.fleet.ap_service_ms
     print(
-        f"air-time budget: one {fleets[0].template.foreco.command_period_ms:g} ms period / "
-        f"{fleets[0].ap_service_ms:g} ms per command = {budget:.1f} commands/slot"
+        f"air-time budget: one {spec.fleet.template.foreco.command_period_ms:g} ms period / "
+        f"{spec.fleet.ap_service_ms:g} ms per command = {budget:.1f} commands/slot "
+        f"(the analytic bracket the search starts from)"
     )
-    print(f"capacity verdict: {capacity} operators per AP meet the SLO "
-          f"(late <= {SLO_LATE_FRACTION:.0%}, p99 recovery >= {SLO_P99_RECOVERY:.0%})")
+    print()
+
+    swept = sweep_knee()
+    print()
+    agree = "agrees with" if swept == plan.capacity else "DISAGREES with"
+    print(
+        f"capacity verdict: {plan.capacity} operators per AP meet the SLO "
+        f"(late <= {SLO_LATE_FRACTION:.0%}, p99 recovery >= {SLO_P99_RECOVERY:.0%}); "
+        f"the population sweep's knee at {swept} {agree} the planner."
+    )
     print("the next operator tips the shared backlog into unbounded growth.")
+    if swept != plan.capacity:
+        raise SystemExit("cross-check failed: sweep knee != planned capacity")
 
 
 if __name__ == "__main__":

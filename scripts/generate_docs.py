@@ -23,11 +23,16 @@ import inspect
 from repro.fleet import (
     ARRIVAL_KIND_SUMMARIES,
     ARRIVAL_KINDS,
+    METHOD_KIND_SUMMARIES,
+    METHOD_KINDS,
     TIER_KIND_SUMMARIES,
     TIER_KINDS,
     FleetSpec,
+    PlanSpec,
     fleet_catalog,
     get_fleet,
+    get_plan,
+    plan_catalog,
 )
 from repro.forecasting import forecaster_names, make_forecaster
 from repro.scenarios import (
@@ -163,6 +168,62 @@ def _tier_knob_table() -> list[str]:
             f"{defaults.cold_tail_index:g}",
             "Pareto shape of the `heavy` tail (> 1; larger is thinner)",
         ),
+    ]
+    lines = [
+        "| Knob | Default | Meaning |",
+        "| --- | --- | --- |",
+    ]
+    for knob, default, meaning in rows:
+        lines.append(f"| `{knob}` | {default} | {meaning} |")
+    return lines
+
+
+def _plan_table() -> list[str]:
+    lines = [
+        "| Plan | Fleet | Method | SLO (p99 / late / drop) | Bounds | Budget | Description |",
+        "| --- | --- | --- | --- | --- | --- | --- |",
+    ]
+    for name, description in plan_catalog().items():
+        spec = get_plan(name)
+        slo = f"{spec.slo_p99:g} / {spec.slo_late:g} / {spec.slo_drop:g}"
+        bounds = f"[{spec.min_capacity}, {spec.max_capacity}]"
+        lines.append(
+            f"| `{name}` | `{spec.fleet.name}` | `{spec.method}` | {slo} | "
+            f"{bounds} | {spec.budget} | {description} |"
+        )
+    return lines
+
+
+def _plan_method_table() -> list[str]:
+    lines = [
+        "| Method | Search |",
+        "| --- | --- |",
+    ]
+    for kind in METHOD_KINDS:
+        lines.append(f"| `{kind}` | {METHOD_KIND_SUMMARIES.get(kind, '')} |")
+    return lines
+
+
+def _plan_knob_table() -> list[str]:
+    defaults = PlanSpec()
+    rows = [
+        ("slo_p99", f"{defaults.slo_p99:g}",
+         "quality gate: p99 recovery at a probed capacity must reach this fraction"),
+        ("slo_late", f"{defaults.slo_late:g}",
+         "quality gate: mean late/lost fraction must stay at or below this"),
+        ("slo_drop", f"{defaults.slo_drop:g}",
+         "verdict gate: drop rate left at the *chosen* capacity must not exceed this"),
+        ("min_capacity / max_capacity",
+         f"{defaults.min_capacity} / {defaults.max_capacity}",
+         "inclusive integer bounds of the capacity search"),
+        ("budget", f"{defaults.budget}",
+         "maximum distinct capacities evaluated (store hits and repeats are free)"),
+        ("method", f"`{defaults.method}`",
+         "search method (see the method table above)"),
+        ("dual_step", f"{defaults.dual_step:g}",
+         "dual-ascent step size (multipliers move `dual_step * violation` per iteration)"),
+        ("max_iterations", f"{defaults.max_iterations}",
+         "iteration safety cap for either method"),
     ]
     lines = [
         "| Knob | Default | Meaning |",
@@ -322,6 +383,23 @@ def render() -> str:
     parts.append("\nOverride from the CLI with `foreco-experiments --fleet-tier")
     parts.append("hybrid|exact`; crossover guidance and the error bound live in the")
     parts.append('[fleet operations guide](fleet.md), "City scale".\n')
+    parts.append("## Capacity-plan presets (SLO-driven search)\n")
+    parts.extend(_plan_table())
+    parts.append("\nA plan searches the per-AP admission capacity of its target fleet")
+    parts.append("directly against the SLO gates — no grid sweep.  Fetch one with")
+    parts.append("`repro.fleet.get_plan(name)`, run it with `repro.plan(...)` or a")
+    parts.append("`CapacityPlanner`, or from the CLI: `foreco-experiments plan")
+    parts.append("[--slo-p99 F] [--slo-drop F] [--budget N]`.  Every probe is a real")
+    parts.append("fleet evaluation memoized through the result store; finished plans")
+    parts.append("persist under their own content addresses, so a warm rerun loads the")
+    parts.append('plan record and recomputes nothing.  See [fleet operations](fleet.md),')
+    parts.append('"Capacity planning".\n')
+    parts.extend(_plan_method_table())
+    parts.append("\nPlanner knobs on `PlanSpec` (all hash-relevant except `name`; the")
+    parts.append("target fleet's initial `ap_capacity` is pinned out of the identity —")
+    parts.append("the capacity is the search variable):\n")
+    parts.extend(_plan_knob_table())
+    parts.append("")
     parts.append("## Service presets (live admission)\n")
     parts.extend(_service_table())
     parts.append("\nA service runs its fleet workload *live*: operator sessions arrive on")

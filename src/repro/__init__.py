@@ -51,13 +51,14 @@ Package layout
 
 Facade
 ------
-The four entry points most users need are exposed directly on the package,
+The five entry points most users need are exposed directly on the package,
 with uniform keyword names (``store=``, ``jobs=``, ``backend=``):
 
 * :func:`run_scenario` — one scenario preset/spec to a session result;
 * :func:`run_fleet` — one fleet preset/spec to a fleet result;
 * :func:`sweep` — a list of scenario/fleet/service specs, in parallel;
-* :func:`serve` — one live-service preset/spec to a service result.
+* :func:`serve` — one live-service preset/spec to a service result;
+* :func:`plan` — one capacity-plan preset/spec to a :class:`CapacityPlan`.
 
 Quickstart
 ----------
@@ -96,7 +97,15 @@ from .forecasting import (
     VarForecaster,
     make_forecaster,
 )
-from .fleet import FleetEngine, FleetSpec, get_fleet
+from .fleet import (
+    CapacityPlan,
+    CapacityPlanner,
+    FleetEngine,
+    FleetSpec,
+    PlanSpec,
+    get_fleet,
+    get_plan,
+)
 from .robot import NiryoOneArm, RobotDriver
 from .scenarios import (
     ResultStore,
@@ -145,8 +154,11 @@ __all__ = [
     "GilbertElliottJammer",
     "InterferenceSource",
     "WirelessChannel",
+    "CapacityPlan",
+    "CapacityPlanner",
     "FleetEngine",
     "FleetSpec",
+    "PlanSpec",
     "ResultStore",
     "ScenarioSpec",
     "ServiceEngine",
@@ -156,6 +168,7 @@ __all__ = [
     "SweepExecutor",
     "SweepResult",
     "get_fleet",
+    "get_plan",
     "get_scenario",
     "get_service",
     "scenario_names",
@@ -163,6 +176,7 @@ __all__ = [
     "run_fleet",
     "serve",
     "sweep",
+    "plan",
     "quick_demo",
     "__version__",
 ]
@@ -260,6 +274,33 @@ def serve(service_spec, *, until=None, store=None) -> ServiceResult:
         spec = spec.with_(until_s=float(until))
     engine = ServiceEngine(store=_as_store(store))
     return engine.run(spec)
+
+
+def plan(
+    plan_spec, *, jobs: int = 1, backend: str = "thread", store=None, **overrides
+) -> CapacityPlan:
+    """Run one capacity-planning search and return its :class:`CapacityPlan`.
+
+    ``plan_spec`` is a :class:`PlanSpec` or a registered ``plan-*`` preset
+    name (see :func:`repro.fleet.plan_names`).  Keyword ``overrides``
+    (``slo_p99=``, ``slo_drop=``, ``budget=``, ``method=``, ...) replace
+    plan-level fields before the search runs.  ``store``/``jobs``/
+    ``backend`` behave exactly as in :func:`sweep`: every capacity probe
+    memoizes through the store, the finished plan persists under its own
+    content address, and the plan is bit-identical for any worker count or
+    backend.
+
+    >>> report = plan("plan-shared-ap")              # doctest: +SKIP
+    >>> report.capacity                              # doctest: +SKIP
+    3
+    """
+    spec = get_plan(plan_spec) if isinstance(plan_spec, str) else plan_spec
+    if not isinstance(spec, PlanSpec):
+        raise ConfigurationError("plan expects a PlanSpec or a plan preset name")
+    if overrides:
+        spec = spec.with_(**overrides)
+    planner = CapacityPlanner(jobs=jobs, backend=backend, store=_as_store(store))
+    return planner.run(spec)
 
 
 def quick_demo(seed: int = 0, n_repetitions: int = 4, n_robots: int = 5) -> SimulationOutcome:

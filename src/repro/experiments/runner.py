@@ -62,9 +62,21 @@ operations").  ``--policy NAME`` overrides each preset's admission policy
 ``--jobs``, ``--store`` and ``--resume`` exactly like the other sweeps and
 are bit-identical for any worker count.
 
+The ``plan`` keyword runs every capacity-plan preset from
+:mod:`repro.fleet.plan` — SLO-driven searches over per-AP admission
+capacities (see ``docs/fleet.md`` "Capacity planning").  ``--slo-p99`` and
+``--slo-drop`` override the p99-recovery and drop-rate gates of every
+preset, ``--budget N`` caps the number of capacities probed, and
+``--jobs``/``--backend``/``--store``/``--resume`` parallelise and memoize
+the probes exactly like scenario sweeps; with a store, the finished plans
+persist under their own content addresses, so a warm rerun loads the plan
+records and recomputes nothing.
+
 Flags that only make sense for one keyword are rejected when that keyword
-is absent (``--fleet-tier`` without ``fleet``, ``--budget``/``--promote``
-without ``search``, ``--policy``/``--until`` without ``serve``): the
+is absent (``--fleet-tier`` without ``fleet``, ``--budget`` without
+``search``/``plan``, ``--promote`` without ``search``,
+``--policy``/``--until`` without ``serve``, ``--slo-p99``/``--slo-drop``
+without ``plan``): the
 library entry point :func:`run_experiments` raises
 :class:`~repro.errors.ConfigurationError`, which :func:`main` renders as a
 clean CLI error.  JSON reports carry a top-level ``"report_version"``
@@ -92,7 +104,8 @@ from . import (
 
 #: Version of the JSON report schema.  Bump when a section is added,
 #: removed or restructured, so downstream consumers can pin the shape.
-REPORT_VERSION = 1
+#: (2: added the ``plans`` section and plan lookups in ``store``.)
+REPORT_VERSION = 2
 
 #: Registry of experiment name -> run callable.
 EXPERIMENTS: dict[str, Callable] = {
@@ -118,7 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         help="experiments to run: " + ", ".join(sorted(EXPERIMENTS)) + ", 'all', "
         "'fleet' (every fleet preset), 'serve' (every live-service preset), "
-        "or 'search' (coverage-guided scenario search)",
+        "'search' (coverage-guided scenario search), or 'plan' (SLO-driven "
+        "capacity planning)",
     )
     parser.add_argument("--scale", default="ci", choices=["ci", "standard", "full"],
                         help="experiment scale (default: ci)")
@@ -147,8 +161,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "city-scale exact/analytic tier (default: each preset's own "
                         "tier; see docs/fleet.md 'City scale')")
     parser.add_argument("--budget", type=int, default=None, metavar="N",
-                        help="candidate evaluations for the 'search' keyword "
-                        "(default: 16; only valid with 'search')")
+                        help="evaluation budget: candidate evaluations for the "
+                        "'search' keyword (default: 16), capacities probed per "
+                        "plan for the 'plan' keyword (default: each preset's "
+                        "own); only valid with 'search' or 'plan'")
     parser.add_argument("--promote", action="store_true",
                         help="register the search's top discoveries as "
                         "'adversarial-*' presets (requires the 'search' keyword)")
@@ -160,6 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="virtual-time admission horizon for the 'serve' "
                         "keyword: arrivals after this instant never enter the "
                         "service (default: accept every arrival)")
+    parser.add_argument("--slo-p99", dest="slo_p99", type=float, default=None,
+                        metavar="FRACTION",
+                        help="p99-recovery SLO override for the 'plan' keyword: "
+                        "99%% of admitted sessions must recover at least this "
+                        "fraction (default: each preset's own gate)")
+    parser.add_argument("--slo-drop", dest="slo_drop", type=float, default=None,
+                        metavar="FRACTION",
+                        help="drop-rate SLO override for the 'plan' keyword: the "
+                        "chosen capacity may drop at most this fraction of "
+                        "sessions (default: each preset's own gate)")
     parser.add_argument("--format", dest="fmt", default="text", choices=["text", "json"],
                         help="report format (default: text)")
     parser.add_argument("--output", default=None, help="also write the report to this file")
@@ -187,6 +213,23 @@ def _open_store(path: str | None, resume: bool) -> ResultStore | None:
     return store
 
 
+def _plan_store_partition(plans) -> tuple[int, int]:
+    """This-run store hits/misses attributable to the ``plan`` keyword.
+
+    A plan loaded whole from its record is one hit and zero probes; a
+    computed plan contributes its probes' partition plus the one miss of
+    the failed plan-record lookup.
+    """
+    hits = misses = 0
+    for report in plans or ():
+        if report.from_store:
+            hits += 1
+        else:
+            hits += report.store_hits
+            misses += report.store_misses + 1
+    return hits, misses
+
+
 def run_experiments(
     names: list[str],
     scale: str,
@@ -203,6 +246,8 @@ def run_experiments(
     promote: bool = False,
     policy: str | None = None,
     until: float | None = None,
+    slo_p99: float | None = None,
+    slo_drop: float | None = None,
 ) -> str:
     """Run the selected experiments/scenarios/fleets/services and return the report.
 
@@ -215,7 +260,8 @@ def run_experiments(
     fleet_requested = fleet is not None or "fleet" in names
     search_requested = "search" in names
     serve_requested = "serve" in names
-    names = [name for name in names if name not in ("fleet", "search", "serve")]
+    plan_requested = "plan" in names
+    names = [name for name in names if name not in ("fleet", "search", "serve", "plan")]
     if any(name == "all" for name in names):
         names = sorted(EXPERIMENTS)
     unknown = [name for name in names if name not in EXPERIMENTS]
@@ -225,14 +271,18 @@ def run_experiments(
         raise ConfigurationError(
             "--fleet-tier only applies to fleet runs: add the 'fleet' keyword or --fleet N"
         )
-    if budget is not None and not search_requested:
-        raise ConfigurationError("--budget only applies to the 'search' keyword")
+    if budget is not None and not (search_requested or plan_requested):
+        raise ConfigurationError("--budget only applies to the 'search' and 'plan' keywords")
     if promote and not search_requested:
         raise ConfigurationError("--promote only applies to the 'search' keyword")
     if policy is not None and not serve_requested:
         raise ConfigurationError("--policy only applies to the 'serve' keyword")
     if until is not None and not serve_requested:
         raise ConfigurationError("--until only applies to the 'serve' keyword")
+    if slo_p99 is not None and not plan_requested:
+        raise ConfigurationError("--slo-p99 only applies to the 'plan' keyword")
+    if slo_drop is not None and not plan_requested:
+        raise ConfigurationError("--slo-drop only applies to the 'plan' keyword")
     scenarios = list(scenarios or [])
     if (
         not names
@@ -240,10 +290,11 @@ def run_experiments(
         and not fleet_requested
         and not search_requested
         and not serve_requested
+        and not plan_requested
     ):
         raise ConfigurationError(
-            "nothing to run: pass experiment names, 'fleet', 'serve', 'search' "
-            "and/or --scenario"
+            "nothing to run: pass experiment names, 'fleet', 'serve', 'search', "
+            "'plan' and/or --scenario"
         )
     result_store = _open_store(store, resume)
 
@@ -293,6 +344,24 @@ def run_experiments(
         if until is not None:
             service_specs = [spec.with_(until_s=until) for spec in service_specs]
         service_sweep = executor.run(service_specs)
+    plans = None
+    plan_presets: list[str] = []
+    if plan_requested:
+        from ..fleet import CapacityPlanner, get_plan, plan_names  # deferred: keeps import light
+
+        plan_overrides: dict = {}
+        if slo_p99 is not None:
+            plan_overrides["slo_p99"] = slo_p99
+        if slo_drop is not None:
+            plan_overrides["slo_drop"] = slo_drop
+        if budget is not None:
+            plan_overrides["budget"] = budget
+        plan_presets = plan_names()
+        planner = CapacityPlanner(executor=executor)
+        plans = [
+            planner.run(get_plan(name, scale=scale, seed=seed, **plan_overrides))
+            for name in plan_presets
+        ]
 
     if fmt == "json":
         document: dict = {
@@ -317,11 +386,16 @@ def run_experiments(
             }
         if service_sweep is not None:
             document["services"] = service_sweep.to_records()
+        if plans is not None:
+            document["plans"] = [report.to_dict() for report in plans]
         sweeps = (sweep, fleet_sweep, service_sweep)
-        if result_store is not None and any(s is not None for s in sweeps):
+        if result_store is not None and (any(s is not None for s in sweeps) or plans is not None):
             stats = result_store.stats()
             hits = sum(s.store_hits for s in sweeps if s is not None)
             misses = sum(s.store_misses for s in sweeps if s is not None)
+            plan_hits, plan_misses = _plan_store_partition(plans)
+            hits += plan_hits
+            misses += plan_misses
             document["store"] = {
                 "path": str(result_store.root),
                 "epoch": result_store.epoch,
@@ -408,6 +482,36 @@ def run_experiments(
                 f"{stats.entries} entries at {result_store.root} (epoch {result_store.epoch})"
             )
         sections.append("")
+    if plans is not None:
+        from ..fleet import plan_catalog  # deferred: keeps import light
+
+        catalog = plan_catalog()
+        sections.append("# capacity plans")
+        for name, report in zip(plan_presets, plans):
+            description = catalog.get(name, "")
+            if description:
+                sections.append(f"## {name} — {description}")
+            sections.append(report.to_text())
+        overrides = []
+        if slo_p99 is not None:
+            overrides.append(f"--slo-p99 {slo_p99:g}")
+        if slo_drop is not None:
+            overrides.append(f"--slo-drop {slo_drop:g}")
+        if budget is not None:
+            overrides.append(f"--budget {budget}")
+        if overrides:
+            sections.append(f"overrides: {' '.join(overrides)}")
+        if result_store is not None:
+            stats = result_store.stats()
+            plan_hits, plan_misses = _plan_store_partition(plans)
+            lookups = plan_hits + plan_misses
+            reused = 100.0 * plan_hits / lookups if lookups else 0.0
+            sections.append(
+                f"store: {plan_hits} hits / {plan_misses} misses "
+                f"({reused:.0f}% reused), "
+                f"{stats.entries} entries at {result_store.root} (epoch {result_store.epoch})"
+            )
+        sections.append("")
     return "\n".join(sections).rstrip() + "\n"
 
 
@@ -432,6 +536,8 @@ def main(argv: list[str] | None = None) -> int:
             promote=args.promote,
             policy=args.policy,
             until=args.until,
+            slo_p99=args.slo_p99,
+            slo_drop=args.slo_drop,
         )
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from exc

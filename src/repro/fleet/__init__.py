@@ -20,7 +20,14 @@ serving heavy traffic actually sees.
   (:mod:`repro.wireless.superposition`) — deterministic and
   store-cacheable like everything else;
 * :mod:`repro.fleet.registry` — named fleet presets (``shared-ap``,
-  ``peak-hour``, ``diurnal-campus``, ``city-scale``).
+  ``peak-hour``, ``diurnal-campus``, ``city-scale``);
+* :mod:`repro.fleet.plan` / :mod:`repro.fleet.objective` — SLO-driven
+  capacity planning: :class:`PlanSpec` + :class:`CapacityPlanner` search
+  per-AP admission capacities directly against p99-recovery/late/drop
+  gates (dual-gradient ascent warm-started by the analytic superposition
+  bracket, golden-section fallback), every probe memoized through the
+  store; results are versioned :class:`CapacityPlan` reports persisted
+  under the ``"plan"`` record kind.
 
 Fleet results persist in the same content-addressed
 :class:`~repro.scenarios.ResultStore` (and engine-epoch scheme) as session
@@ -40,6 +47,21 @@ from ..scenarios.store import (
 )
 from .engine import FleetEngine, FleetResult, operator_channel_spec
 from .hybrid import ApClassification, HybridFleetEngine, classify_aps, cold_draw_seed
+from .objective import PlanProbe, admitted_estimate, assess_probe, quality_violations, select_probe
+from .plan import (
+    METHOD_KIND_SUMMARIES,
+    METHOD_KINDS,
+    PLAN_VERSION,
+    CapacityPlan,
+    CapacityPlanner,
+    PlanSpec,
+    analytic_bracket,
+    get_plan,
+    plan_catalog,
+    plan_names,
+    register_plan,
+    run_plan,
+)
 from .registry import fleet_catalog, fleet_names, get_fleet, register_fleet
 from .spec import (
     ARRIVAL_KIND_SUMMARIES,
@@ -112,19 +134,35 @@ __all__ = [
     "ARRIVAL_KIND_SUMMARIES",
     "ARRIVAL_KINDS",
     "ApClassification",
+    "CapacityPlan",
+    "CapacityPlanner",
     "FleetEngine",
     "FleetResult",
     "FleetSpec",
     "HybridFleetEngine",
+    "METHOD_KIND_SUMMARIES",
+    "METHOD_KINDS",
+    "PLAN_VERSION",
+    "PlanProbe",
+    "PlanSpec",
     "TIER_KIND_SUMMARIES",
     "TIER_KINDS",
+    "admitted_estimate",
+    "analytic_bracket",
     "arrival_seed",
+    "assess_probe",
     "classify_aps",
     "cold_draw_seed",
     "fleet_catalog",
     "fleet_names",
     "get_fleet",
+    "get_plan",
     "operator_channel_spec",
+    "plan_catalog",
+    "plan_names",
+    "quality_violations",
     "register_fleet",
-    "sample_arrival_times",
+    "register_plan",
+    "run_plan",
+    "select_probe",
 ]

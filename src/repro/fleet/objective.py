@@ -1,0 +1,228 @@
+"""SLO gates and the admitted-utility objective of capacity planning.
+
+Capacity planning (:mod:`repro.fleet.plan`) searches per-AP admission
+capacities directly against a service-level objective.  This module holds
+the *objective side* of that search, kept deliberately free of any engine
+or executor dependency so the planner's decision logic is testable against
+synthetic response surfaces:
+
+* **Quality gates** — a probed capacity is *quality-feasible* when its p99
+  recovery meets ``slo_p99`` and its mean late/lost fraction stays within
+  ``slo_late``.  Violations are measured as nonnegative slacks (shortfall
+  and excess), the vector the planner's dual variables ascend on.
+* **Admitted utility** — among quality-feasible capacities the plan
+  maximises the number of admitted operator sessions (nondecreasing in
+  capacity, saturating at the operator population), tie-broken toward the
+  *smallest* capacity: "minimise total capacity subject to the SLO" in its
+  utility-maximising form, which keeps the planned capacity monotone under
+  SLO tightening.
+* **Drop gate** — ``slo_drop`` bounds the drop rate the *chosen* capacity
+  may leave behind; it decides the plan's final feasibility verdict rather
+  than which capacities are searchable (dropping fewer sessions always
+  requires *more* capacity, so folding it into the per-probe gates would
+  break the monotonicity contract above).
+
+:class:`PlanProbe` is the probe-ledger row every evaluated capacity
+produces; :func:`assess_probe` builds one from any fleet-result-like object
+(anything exposing ``admitted``, ``dropped_sessions``, ``p99_recovery``,
+``mean_late_fraction`` and ``spec_hash`` — a real
+:class:`~repro.fleet.engine.FleetResult` or a synthetic stand-in).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import ConfigurationError
+
+
+def admitted_estimate(capacity: int, operators: int, aps: int) -> int:
+    """Upper bound on admitted sessions at a capacity (admission arithmetic).
+
+    Each of ``aps`` access points admits at most ``capacity`` concurrent
+    sessions, and no more than the ``operators`` population can ever be
+    admitted.  The planner uses this as the optimistic utility estimate for
+    capacities it has not probed yet.
+    """
+    return min(int(operators), int(capacity) * int(aps))
+
+
+def quality_violations(
+    p99_recovery: float, late_fraction: float, slo_p99: float, slo_late: float
+) -> tuple[float, float]:
+    """Nonnegative slack of each quality gate at one probed capacity.
+
+    Returns ``(p99 shortfall, late excess)`` — zero when the gate holds.
+    This is the violation vector the dual-gradient method ascends its
+    Lagrange multipliers along.
+    """
+    return (
+        max(0.0, float(slo_p99) - float(p99_recovery)),
+        max(0.0, float(late_fraction) - float(slo_late)),
+    )
+
+
+@dataclass(frozen=True)
+class PlanProbe:
+    """One evaluated capacity in a plan's probe ledger.
+
+    Attributes
+    ----------
+    capacity:
+        The per-AP admission capacity this probe evaluated.
+    spec_hash:
+        Content address of the probed :class:`~repro.fleet.FleetSpec` (the
+        store shard any rerun reuses).
+    admitted / dropped_sessions:
+        Admission outcome at this capacity.
+    drop_rate:
+        ``dropped / (admitted + dropped)`` (0.0 for an empty population).
+    p99_recovery / mean_late_fraction / mean_ap_utilization:
+        Service-level metrics at this capacity.
+    p99_violation / late_violation:
+        Quality-gate slacks from :func:`quality_violations`.
+    source:
+        Which planner phase probed it (``"bracket"``, ``"dual"``,
+        ``"golden"`` or ``"refine"``).
+    order:
+        0-based probe order (the ledger is also the evaluation sequence).
+    """
+
+    capacity: int
+    spec_hash: str
+    admitted: int
+    dropped_sessions: int
+    drop_rate: float
+    p99_recovery: float
+    mean_late_fraction: float
+    mean_ap_utilization: float
+    p99_violation: float
+    late_violation: float
+    source: str
+    order: int
+
+    @property
+    def feasible(self) -> bool:
+        """Whether both quality gates hold at this capacity."""
+        return self.p99_violation == 0.0 and self.late_violation == 0.0
+
+    @property
+    def violation(self) -> float:
+        """Total quality-gate slack (0.0 exactly when feasible)."""
+        return self.p99_violation + self.late_violation
+
+    def to_dict(self) -> dict:
+        """JSON-safe ledger row (field-for-field, plus the derived verdict)."""
+        return {
+            "capacity": int(self.capacity),
+            "spec_hash": str(self.spec_hash),
+            "admitted": int(self.admitted),
+            "dropped_sessions": int(self.dropped_sessions),
+            "drop_rate": float(self.drop_rate),
+            "p99_recovery": float(self.p99_recovery),
+            "mean_late_fraction": float(self.mean_late_fraction),
+            "mean_ap_utilization": float(self.mean_ap_utilization),
+            "p99_violation": float(self.p99_violation),
+            "late_violation": float(self.late_violation),
+            "source": str(self.source),
+            "order": int(self.order),
+            "feasible": self.feasible,
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "PlanProbe":
+        """Rebuild a ledger row from its :meth:`to_dict` rendering."""
+        return cls(
+            capacity=int(row["capacity"]),
+            spec_hash=str(row["spec_hash"]),
+            admitted=int(row["admitted"]),
+            dropped_sessions=int(row["dropped_sessions"]),
+            drop_rate=float(row["drop_rate"]),
+            p99_recovery=float(row["p99_recovery"]),
+            mean_late_fraction=float(row["mean_late_fraction"]),
+            mean_ap_utilization=float(row["mean_ap_utilization"]),
+            p99_violation=float(row["p99_violation"]),
+            late_violation=float(row["late_violation"]),
+            source=str(row["source"]),
+            order=int(row["order"]),
+        )
+
+
+def assess_probe(
+    capacity: int,
+    result,
+    slo_p99: float,
+    slo_late: float,
+    source: str,
+    order: int,
+) -> PlanProbe:
+    """Score one fleet evaluation against the quality gates.
+
+    ``result`` is any fleet-result-like object: it must expose
+    ``admitted``, ``dropped_sessions``, ``p99_recovery``,
+    ``mean_late_fraction`` and ``spec_hash`` (``mean_ap_utilization`` is
+    optional and defaults to 0.0), which makes the planner's decision logic
+    exercisable against synthetic monotone response surfaces in tests.
+    """
+    admitted = int(result.admitted)
+    dropped = int(result.dropped_sessions)
+    sessions = admitted + dropped
+    p99 = float(result.p99_recovery)
+    late = float(result.mean_late_fraction)
+    if not math.isfinite(p99) or not math.isfinite(late):
+        raise ConfigurationError(
+            f"probe at capacity {capacity} produced non-finite quality metrics"
+        )
+    p99_violation, late_violation = quality_violations(p99, late, slo_p99, slo_late)
+    return PlanProbe(
+        capacity=int(capacity),
+        spec_hash=str(result.spec_hash),
+        admitted=admitted,
+        dropped_sessions=dropped,
+        drop_rate=dropped / sessions if sessions else 0.0,
+        p99_recovery=p99,
+        mean_late_fraction=late,
+        mean_ap_utilization=float(getattr(result, "mean_ap_utilization", 0.0)),
+        p99_violation=p99_violation,
+        late_violation=late_violation,
+        source=str(source),
+        order=int(order),
+    )
+
+
+def penalized_score(probe: PlanProbe, operators: int, max_capacity: int) -> float:
+    """Single-number objective for the golden-section refinement.
+
+    ``admitted - P * [infeasible] - violation`` with the constant penalty
+    ``P = operators + max_capacity + 1`` chosen to dominate any achievable
+    utility: every quality-infeasible capacity scores strictly below every
+    feasible one, regardless of how small its violation slack is, and the
+    residual ``-violation`` term orders the infeasible region so the
+    refinement still walks toward the least-violating capacity when the SLO
+    is unattainable everywhere.
+    """
+    penalty = float(int(operators) + int(max_capacity) + 1)
+    score = float(probe.admitted)
+    if not probe.feasible:
+        score -= penalty + probe.violation
+    return score
+
+
+def select_probe(probes: Iterable[PlanProbe]) -> PlanProbe:
+    """The chosen capacity of a finished search, from its probe ledger.
+
+    Among quality-feasible probes: maximum admitted utility, tie-broken to
+    the smallest capacity (minimum capacity among the utility maximisers).
+    When no probe is quality-feasible: the least-violating probe, smallest
+    capacity first — reported as the best available operating point even
+    though the plan's verdict will be infeasible.
+    """
+    ledger = list(probes)
+    if not ledger:
+        raise ConfigurationError("cannot select a capacity from an empty probe ledger")
+    feasible = [probe for probe in ledger if probe.feasible]
+    if feasible:
+        return min(feasible, key=lambda probe: (-probe.admitted, probe.capacity))
+    return min(ledger, key=lambda probe: (probe.violation, probe.capacity))

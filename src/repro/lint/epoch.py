@@ -37,6 +37,8 @@ _TRACKED_FIXED = (
     "src/repro/fleet/__init__.py",
     "src/repro/fleet/engine.py",
     "src/repro/fleet/hybrid.py",
+    "src/repro/fleet/objective.py",
+    "src/repro/fleet/plan.py",
     "src/repro/fleet/spec.py",
     "src/repro/service/__init__.py",
     "src/repro/service/engine.py",

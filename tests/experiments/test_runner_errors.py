@@ -39,11 +39,32 @@ def test_fleet_tier_requires_a_fleet_run():
     assert "fleet" in _message(excinfo)
 
 
-def test_budget_requires_search_keyword():
+def test_budget_requires_search_or_plan_keyword():
     with pytest.raises(ConfigurationError) as excinfo:
         run_experiments([], scale="ci", seed=1, scenarios=["clean"], budget=8)
     assert "--budget" in _message(excinfo)
     assert "search" in _message(excinfo)
+    assert "plan" in _message(excinfo)
+
+
+def test_slo_flags_require_plan_keyword():
+    with pytest.raises(ConfigurationError) as excinfo:
+        run_experiments([], scale="ci", seed=1, scenarios=["clean"], slo_p99=0.9)
+    assert "--slo-p99" in _message(excinfo)
+    assert "plan" in _message(excinfo)
+    with pytest.raises(ConfigurationError) as excinfo:
+        run_experiments(["fleet"], scale="ci", seed=1, fleet=2, slo_drop=0.1)
+    assert "--slo-drop" in _message(excinfo)
+    assert "plan" in _message(excinfo)
+
+
+def test_malformed_plan_gate_and_budget():
+    with pytest.raises(ConfigurationError) as excinfo:
+        run_experiments(["plan"], scale="ci", seed=1, slo_p99=1.5)
+    assert "slo_p99" in _message(excinfo)
+    with pytest.raises(ConfigurationError) as excinfo:
+        run_experiments(["plan"], scale="ci", seed=1, budget=0)
+    assert "budget" in _message(excinfo)
 
 
 def test_policy_requires_serve_keyword():

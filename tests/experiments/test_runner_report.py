@@ -61,11 +61,31 @@ SERVICE_ROW_KEYS = {
 #: Keys the search section carries.
 SEARCH_KEYS = {"budget", "evaluated", "rounds", "probes", "top"}
 
+#: Keys every capacity-plan report carries.
+PLAN_KEYS = {
+    "plan",
+    "plan_version",
+    "spec_hash",
+    "method",
+    "feasible",
+    "capacity",
+    "admitted",
+    "dropped_sessions",
+    "drop_rate",
+    "bracket",
+    "evaluated",
+    "slo",
+    "bounds",
+    "predicted",
+    "probes",
+    "trace",
+}
+
 
 @pytest.fixture(scope="module")
 def document():
     report = run_experiments(
-        ["fleet", "serve", "search"],
+        ["fleet", "serve", "search", "plan"],
         scale="ci",
         seed=42,
         jobs=2,
@@ -80,12 +100,12 @@ def document():
 
 def test_json_document_is_versioned(document):
     assert document["report_version"] == REPORT_VERSION
-    assert REPORT_VERSION == 1
+    assert REPORT_VERSION == 2
 
 
 def test_json_top_level_sections(document):
     assert {"report_version", "scale", "seed", "experiments", "search",
-            "scenarios", "fleets", "fleet_tier", "services"} <= set(document)
+            "scenarios", "fleets", "fleet_tier", "services", "plans"} <= set(document)
 
 
 def test_json_section_schemas(document):
@@ -96,12 +116,29 @@ def test_json_section_schemas(document):
         assert SERVICE_ROW_KEYS <= set(row)
         assert row["until_s"] == 120.0
     assert SEARCH_KEYS <= set(document["search"])
+    for row in document["plans"]:
+        assert PLAN_KEYS <= set(row)
+        assert row["evaluated"] <= 2  # --budget caps plan probes too
+
+
+def test_json_plan_rows_cover_every_preset(document):
+    from repro.fleet import plan_names
+
+    assert [row["plan"] for row in document["plans"]] == plan_names()
 
 
 def test_json_service_rows_cover_every_preset(document):
     from repro.service import service_names
 
     assert [row["service"] for row in document["services"]] == service_names()
+
+
+def test_plan_text_section_is_pinned():
+    report = run_experiments(["plan"], scale="ci", seed=42, jobs=2, slo_drop=0.2)
+    assert "# capacity plans" in report
+    assert "capacity plan 'plan-shared-ap'" in report
+    assert "overrides: --slo-drop 0.2" in report
+    assert "INFEASIBLE" in report  # the tightened drop gate flips the verdict
 
 
 def test_text_sections_are_pinned():

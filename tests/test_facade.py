@@ -1,4 +1,4 @@
-"""The top-level facade: run_scenario / run_fleet / sweep / serve.
+"""The top-level facade: run_scenario / run_fleet / sweep / serve / plan.
 
 One consistent surface over the layered engines: presets or specs in,
 result rows out, with the same keyword vocabulary everywhere (``seed=``,
@@ -65,6 +65,10 @@ def test_facade_rejects_wrong_spec_types():
         repro.run_fleet("no-such-preset")
     with pytest.raises(ConfigurationError):
         repro.serve("no-such-preset")
+    with pytest.raises(ConfigurationError):
+        repro.plan(get_scenario("clean"))
+    with pytest.raises(ConfigurationError):
+        repro.plan("no-such-preset")
 
 
 def test_store_keyword_accepts_paths_and_stores(tmp_path):
@@ -77,6 +81,6 @@ def test_store_keyword_accepts_paths_and_stores(tmp_path):
 
 
 def test_facade_exports_are_documented():
-    for name in ("run_scenario", "run_fleet", "sweep", "serve"):
+    for name in ("run_scenario", "run_fleet", "sweep", "serve", "plan"):
         assert name in repro.__all__
         assert getattr(repro, name).__doc__
